@@ -1,0 +1,95 @@
+// Command atabench runs the paper-reproduction experiments (one per
+// figure, plus the signature table and the ablations) and prints their
+// data series.
+//
+// Usage:
+//
+//	atabench -list
+//	atabench -exp F09                 # one experiment, CI scale
+//	atabench -exp F09 -full           # paper-scale grids (slow)
+//	atabench -all -scale 0.25 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/coll"
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		expID = flag.String("exp", "", "experiment id to run (e.g. F09, TA, AB2)")
+		all   = flag.Bool("all", false, "run every experiment")
+		full  = flag.Bool("full", false, "paper-scale grids (slow)")
+		scale = flag.Float64("scale", 0, "explicit scale factor (overrides -full)")
+		reps  = flag.Int("reps", 0, "repetitions per point")
+		seed  = flag.Int64("seed", 0, "simulation seed")
+		csv   = flag.Bool("csv", false, "CSV output instead of aligned tables")
+		alg   = flag.String("alg", "postall", "alltoall algorithm: direct|postall|bruck|pairwise")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := exp.DefaultConfig()
+	if *full {
+		cfg = exp.PaperConfig()
+	}
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	switch *alg {
+	case "direct":
+		cfg.Algorithm = coll.Direct
+	case "postall":
+		cfg.Algorithm = coll.PostAll
+	case "bruck":
+		cfg.Algorithm = coll.Bruck
+	case "pairwise":
+		cfg.Algorithm = coll.Pairwise
+	default:
+		fmt.Fprintf(os.Stderr, "atabench: unknown algorithm %q\n", *alg)
+		os.Exit(2)
+	}
+
+	var toRun []exp.Experiment
+	switch {
+	case *all:
+		toRun = exp.All()
+	case *expID != "":
+		e, err := exp.ByID(*expID)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "atabench: %v (use -list)\n", err)
+			os.Exit(2)
+		}
+		toRun = []exp.Experiment{e}
+	default:
+		fmt.Fprintln(os.Stderr, "atabench: need -exp <id>, -all or -list")
+		os.Exit(2)
+	}
+
+	for _, e := range toRun {
+		res := e.Run(cfg)
+		if *csv {
+			exp.WriteCSV(os.Stdout, res)
+		} else {
+			exp.WriteText(os.Stdout, res)
+		}
+		fmt.Println()
+	}
+}

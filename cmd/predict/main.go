@@ -1,0 +1,43 @@
+// Command predict evaluates the paper's performance models for an
+// All-to-All of n processes and message size m, given a contention
+// signature (γ, δ, M) and Hockney parameters — the deployment-time use
+// case of the paper: predict collective cost on a network you have
+// characterized once.
+//
+// Usage:
+//
+//	predict -alpha 46.8e-6 -beta 8.44e-9 -gamma 4.36 -delta 4.93e-3 -M 8192 -n 40 -m 1048576
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/model"
+)
+
+func main() {
+	var (
+		alpha = flag.Float64("alpha", 0, "Hockney α (s)")
+		beta  = flag.Float64("beta", 0, "Hockney β (s/B)")
+		gamma = flag.Float64("gamma", 1, "contention ratio γ")
+		delta = flag.Float64("delta", 0, "start-up overload δ (s)")
+		mThr  = flag.Int("M", 0, "δ activation threshold (bytes)")
+		n     = flag.Int("n", 0, "process count")
+		m     = flag.Int("m", 0, "message size (bytes)")
+	)
+	flag.Parse()
+	if *alpha <= 0 || *beta <= 0 || *n < 2 || *m <= 0 {
+		fmt.Fprintln(os.Stderr, "predict: need -alpha, -beta, -n >= 2 and -m > 0")
+		os.Exit(2)
+	}
+	h := model.Hockney{Alpha: *alpha, Beta: *beta}
+	sig := model.Signature{H: h, Gamma: *gamma, Delta: *delta, M: *mThr}
+	fmt.Printf("hockney:             %s\n", h)
+	fmt.Printf("signature:           %s\n", sig)
+	fmt.Printf("lower bound:         %.6fs\n", model.LowerBound(h, *n, *m))
+	fmt.Printf("naive eq.(1):        %.6fs\n", model.Naive{H: h}.Predict(*n, *m))
+	fmt.Printf("clement eq.(2):      %.6fs\n", model.Clement{H: h}.Predict(*n, *m))
+	fmt.Printf("signature eq.(5):    %.6fs\n", sig.Predict(*n, *m))
+}

@@ -1,0 +1,123 @@
+// Command sigfit fits a contention signature (γ, δ, M) from All-to-All
+// measurements. It either reads samples from a CSV file (columns:
+// msg_bytes,time_s) together with explicit Hockney parameters, or runs
+// the full in-simulator procedure for a named cluster profile.
+//
+// Usage:
+//
+//	sigfit -profile gigabit-ethernet -n 40          # simulate + fit
+//	sigfit -csv samples.csv -alpha 46.8e-6 -beta 8.44e-9 -n 40
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/calib"
+	"repro/internal/cluster"
+	"repro/internal/coll"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/signature"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "", "cluster profile to simulate and fit")
+		n       = flag.Int("n", 24, "process count n' of the samples")
+		csvPath = flag.String("csv", "", "CSV file with msg_bytes,time_s samples")
+		alpha   = flag.Float64("alpha", 0, "Hockney α (s), required with -csv")
+		beta    = flag.Float64("beta", 0, "Hockney β (s/B), required with -csv")
+		fixedM  = flag.Int("M", 0, "fix the δ threshold instead of scanning")
+		uniform = flag.Bool("uniform", false, "uniform weighting instead of relative (GLS)")
+		seed    = flag.Int64("seed", 1, "simulation seed (profile mode)")
+	)
+	flag.Parse()
+
+	var h model.Hockney
+	var samples []signature.Sample
+
+	switch {
+	case *csvPath != "":
+		if *alpha <= 0 || *beta <= 0 {
+			fmt.Fprintln(os.Stderr, "sigfit: -csv requires -alpha and -beta")
+			os.Exit(2)
+		}
+		h = model.Hockney{Alpha: *alpha, Beta: *beta}
+		var err error
+		samples, err = readSamples(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sigfit: %v\n", err)
+			os.Exit(1)
+		}
+	case *profile != "":
+		p, err := cluster.ByName(*profile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sigfit: %v\n", err)
+			os.Exit(2)
+		}
+		h = calib.PingPong(p, mpi.Config{}, *seed, calib.PingPongConfig{})
+		fmt.Printf("calibrated hockney: %s\n", h)
+		for _, m := range []int{16 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20} {
+			cl := cluster.Build(p, *n, *seed+int64(m))
+			w := mpi.NewWorld(cl, mpi.Config{})
+			meas := coll.Measure(w, 1, 2, func(r *mpi.Rank) { coll.Alltoall(r, m, coll.PostAll) })
+			fmt.Printf("measured n=%d m=%d: %.6fs\n", *n, m, meas.Mean())
+			samples = append(samples, signature.Sample{M: m, T: meas.Mean()})
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "sigfit: need -profile or -csv (see -h)")
+		os.Exit(2)
+	}
+
+	opts := signature.Options{FixedM: *fixedM}
+	if *uniform {
+		opts.Weighting = signature.Uniform
+	}
+	sig, rep, err := signature.Fit(h, *n, samples, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sigfit: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nsignature: %s\n", sig)
+	fmt.Printf("fit MAPE: %.2f%%  weighted SSE: %.4g\n", rep.MAPE*100, rep.SSE)
+	fmt.Println("\npredictions:")
+	for _, pn := range []int{8, 16, 24, 40, 64} {
+		fmt.Printf("  n=%2d m=1MB: %.4fs\n", pn, sig.Predict(pn, 1<<20))
+	}
+}
+
+// readSamples parses "msg_bytes,time_s" lines, skipping comments.
+func readSamples(path string) ([]signature.Sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []signature.Sample
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "msg") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("bad line %q", line)
+		}
+		m, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return nil, fmt.Errorf("bad size in %q: %v", line, err)
+		}
+		t, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad time in %q: %v", line, err)
+		}
+		out = append(out, signature.Sample{M: m, T: t})
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,198 @@
+// Package cluster assembles named simulated environments mirroring the
+// three platforms of the paper's evaluation (Section 8):
+//
+//   - Fast Ethernet  — icluster2: 5 Fast Ethernet edge switches with 20
+//     nodes each behind one Gigabit Ethernet core switch, TCP transport.
+//   - Gigabit Ethernet — GdX: one flat Gigabit switch, TCP transport.
+//   - Myrinet — icluster2's Myrinet 2000 (one M3-E128 switch), GM
+//     transport over a lossless, credit-backpressured fabric.
+//
+// Profiles are plain data so experiments can perturb them (buffer-size
+// ablations, InfiniBand-like extension, ...).
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Profile describes a buildable cluster environment.
+type Profile struct {
+	Name string
+	Kind transport.Kind
+
+	// Host link (node ↔ edge switch).
+	LinkRate    int64 // bytes/s
+	LinkLatency sim.Time
+
+	// Edge switch queueing.
+	PortBuffer int
+	Lossless   bool
+
+	// Optional two-level hierarchy. Leaves > 1 builds that many edge
+	// switches under one core switch and assigns hosts round-robin
+	// (balanced placement, as a shared cluster's scheduler produces);
+	// NodesPerLeaf caps a leaf's hosts, adding leaves beyond Leaves for
+	// very large node counts.
+	Leaves         int
+	NodesPerLeaf   int
+	UplinkRate     int64
+	UplinkLatency  sim.Time
+	CorePortBuffer int
+
+	// Host receive-path software cost: per-packet processing time is
+	// RxCostBase + RxCostPerConn × (nodes − 1), modeling the kernel TCP
+	// receive path plus a select()-based MPI progress engine whose scan
+	// cost grows with the number of open connections. Zero for kernel-
+	// bypass stacks (Myrinet/GM). This is what lets a network deliver
+	// full bandwidth to a single ping-pong stream while collapsing
+	// under the n−1 concurrent connections of an All-to-All — the
+	// paper's Gigabit Ethernet phenomenology.
+	RxCostBase    sim.Time
+	RxCostPerConn sim.Time
+
+	// Transport tuning.
+	TCP transport.TCPConfig
+	GM  transport.GMConfig
+}
+
+// FastEthernet returns the icluster2 Fast Ethernet profile: 100 Mbit/s
+// host links on 20-port edge switches, 1 Gbit/s uplinks to a core switch.
+func FastEthernet() Profile {
+	return Profile{
+		Name:           "fast-ethernet",
+		Kind:           transport.TCP,
+		LinkRate:       12_500_000, // 100 Mbit/s
+		LinkLatency:    25 * sim.Microsecond,
+		PortBuffer:     192 << 10,
+		Leaves:         5,
+		NodesPerLeaf:   20,
+		UplinkRate:     125_000_000, // 1 Gbit/s
+		UplinkLatency:  10 * sim.Microsecond,
+		CorePortBuffer: 768 << 10,
+		RxCostBase:     2 * sim.Microsecond,
+		RxCostPerConn:  550 * sim.Nanosecond,
+		TCP:            transport.DefaultTCPConfig(),
+	}
+}
+
+// GigabitEthernet returns the GdX profile: a flat 1 Gbit/s switch.
+func GigabitEthernet() Profile {
+	return Profile{
+		Name:          "gigabit-ethernet",
+		Kind:          transport.TCP,
+		LinkRate:      125_000_000,
+		LinkLatency:   20 * sim.Microsecond,
+		PortBuffer:    80 << 10,
+		RxCostBase:    2 * sim.Microsecond,
+		RxCostPerConn: 550 * sim.Nanosecond,
+		TCP:           transport.DefaultTCPConfig(),
+	}
+}
+
+// Myrinet returns the icluster2 Myrinet 2000 profile: a flat lossless
+// 2 Gbit/s switch with small port buffers and credit backpressure.
+func Myrinet() Profile {
+	return Profile{
+		Name:        "myrinet",
+		Kind:        transport.GM,
+		LinkRate:    250_000_000, // 2 Gbit/s
+		LinkLatency: 4 * sim.Microsecond,
+		PortBuffer:  32 << 10,
+		Lossless:    true,
+		GM:          transport.DefaultGMConfig(),
+	}
+}
+
+// InfiniBandLike is the forward-looking profile named in the paper's
+// future work: higher rate, lower latency, lossless.
+func InfiniBandLike() Profile {
+	return Profile{
+		Name:        "infiniband-like",
+		Kind:        transport.GM,
+		LinkRate:    1_000_000_000, // 8 Gbit/s effective
+		LinkLatency: 2 * sim.Microsecond,
+		PortBuffer:  64 << 10,
+		Lossless:    true,
+		GM:          transport.GMConfig{MTU: 2048, HeaderSize: 20},
+	}
+}
+
+// Profiles returns the canonical evaluation profiles keyed by name.
+func Profiles() map[string]Profile {
+	out := map[string]Profile{}
+	for _, p := range []Profile{FastEthernet(), GigabitEthernet(), Myrinet(), InfiniBandLike()} {
+		out[p.Name] = p
+	}
+	return out
+}
+
+// ByName returns the named canonical profile.
+func ByName(name string) (Profile, error) {
+	p, ok := Profiles()[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("cluster: unknown profile %q", name)
+	}
+	return p, nil
+}
+
+// Cluster is a built environment: simulator, network, hosts and fabric.
+type Cluster struct {
+	Profile Profile
+	Sim     *sim.Simulator
+	Net     *netsim.Network
+	Hosts   []*netsim.Device
+	Fabric  *transport.Fabric
+}
+
+// Build instantiates a profile with the given node count and seed.
+func Build(p Profile, nodes int, seed int64) *Cluster {
+	s := sim.New(seed)
+	nw := netsim.New(s)
+	hosts := make([]*netsim.Device, nodes)
+	for i := 0; i < nodes; i++ {
+		hosts[i] = nw.AddHost(fmt.Sprintf("%s-n%d", p.Name, i))
+	}
+
+	edgeCfg := netsim.SwitchConfig{PortBuffer: p.PortBuffer, Lossless: p.Lossless}
+	link := netsim.LinkConfig{Rate: p.LinkRate, Latency: p.LinkLatency}
+
+	leaves := p.Leaves
+	if p.NodesPerLeaf > 0 {
+		if need := (nodes + p.NodesPerLeaf - 1) / p.NodesPerLeaf; need > leaves {
+			leaves = need
+		}
+	}
+	if leaves > 1 {
+		coreCfg := netsim.SwitchConfig{PortBuffer: p.CorePortBuffer, Lossless: p.Lossless}
+		core := nw.AddSwitch("core", coreCfg)
+		uplink := netsim.LinkConfig{Rate: p.UplinkRate, Latency: p.UplinkLatency}
+		leafSw := make([]*netsim.Device, leaves)
+		for l := 0; l < leaves; l++ {
+			leafSw[l] = nw.AddSwitch(fmt.Sprintf("leaf%d", l), edgeCfg)
+			nw.Connect(leafSw[l], core, uplink)
+		}
+		for i, h := range hosts {
+			nw.Connect(h, leafSw[i%leaves], link)
+		}
+	} else {
+		sw := nw.AddSwitch("sw", edgeCfg)
+		for _, h := range hosts {
+			nw.Connect(h, sw, link)
+		}
+	}
+	nw.ComputeRoutes()
+
+	if p.RxCostBase > 0 || p.RxCostPerConn > 0 {
+		cost := p.RxCostBase + sim.Time(nodes-1)*p.RxCostPerConn
+		for _, h := range hosts {
+			h.SetRxCost(cost)
+		}
+	}
+
+	fab := transport.NewFabric(nw, hosts, transport.FabricConfig{Kind: p.Kind, TCP: p.TCP, GM: p.GM})
+	return &Cluster{Profile: p, Sim: s, Net: nw, Hosts: hosts, Fabric: fab}
+}

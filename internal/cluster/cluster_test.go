@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/transport"
+)
+
+func TestProfilesRegistry(t *testing.T) {
+	ps := Profiles()
+	for _, name := range []string{"fast-ethernet", "gigabit-ethernet", "myrinet", "infiniband-like"} {
+		p, ok := ps[name]
+		if !ok {
+			t.Fatalf("missing profile %s", name)
+		}
+		if p.LinkRate <= 0 || p.LinkLatency <= 0 {
+			t.Fatalf("%s has invalid link parameters: %+v", name, p)
+		}
+	}
+	if _, err := ByName("myrinet"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("token-ring"); err == nil {
+		t.Fatal("unknown profile must error")
+	}
+}
+
+func TestProfileCharacteristics(t *testing.T) {
+	fe, ge, my := FastEthernet(), GigabitEthernet(), Myrinet()
+	if !(fe.LinkRate < ge.LinkRate && ge.LinkRate < my.LinkRate) {
+		t.Fatal("rate ordering wrong")
+	}
+	if fe.Kind != transport.TCP || ge.Kind != transport.TCP {
+		t.Fatal("ethernet profiles must use TCP")
+	}
+	if my.Kind != transport.GM || !my.Lossless {
+		t.Fatal("myrinet must be lossless GM")
+	}
+	if fe.Leaves != 5 {
+		t.Fatal("fast ethernet must model the 5-switch icluster2 topology")
+	}
+}
+
+func TestBuildFlat(t *testing.T) {
+	cl := Build(GigabitEthernet(), 8, 1)
+	if len(cl.Hosts) != 8 || cl.Net.NumHosts() != 8 {
+		t.Fatalf("host count wrong: %d", len(cl.Hosts))
+	}
+	if cl.Fabric.NumHosts() != 8 {
+		t.Fatal("fabric size mismatch")
+	}
+	// Flat topology: 8 host NICs + 8 switch ports = 16 egresses.
+	if got := len(cl.Net.Stats()); got != 16 {
+		t.Fatalf("flat GigE egress count = %d, want 16", got)
+	}
+}
+
+func TestBuildHierarchical(t *testing.T) {
+	cl := Build(FastEthernet(), 24, 1)
+	// 5 leaves + core: egresses = 24 hosts + 24 leaf->host + 5 uplinks
+	// each way (10) = 58.
+	if got := len(cl.Net.Stats()); got != 58 {
+		t.Fatalf("hierarchical egress count = %d, want 58", got)
+	}
+}
+
+func TestBuildHierarchicalOverflowLeaves(t *testing.T) {
+	// 120 nodes exceed 5 leaves x 20: a sixth leaf must appear.
+	cl := Build(FastEthernet(), 120, 1)
+	// egresses: 120 + 120 + 2*6 = 252.
+	if got := len(cl.Net.Stats()); got != 252 {
+		t.Fatalf("overflow egress count = %d, want 252", got)
+	}
+}
+
+func TestRoundRobinPlacement(t *testing.T) {
+	// With balanced round-robin placement, hosts i and i+5 share a leaf
+	// on the 5-leaf Fast Ethernet profile; verify via route locality:
+	// traffic between same-leaf hosts must not cross the core switch.
+	cl := Build(FastEthernet(), 10, 1)
+	host0 := cl.Hosts[0]
+	if host0.Name() == "" {
+		t.Fatal("hosts must be named")
+	}
+	// Indirect check: the network must have exactly 2 leaves worth of
+	// uplinks (10 nodes, 5 leaves -> all 5 leaves in use).
+	var uplinks int
+	for _, st := range cl.Net.Stats() {
+		if st.Name == "core->leaf0" || st.Name == "core->leaf4" {
+			uplinks++
+		}
+	}
+	if uplinks != 2 {
+		t.Fatalf("expected leaf0 and leaf4 to exist (round-robin over 5 leaves), got %d", uplinks)
+	}
+}
+
+func TestBuildDeterministicAcrossCalls(t *testing.T) {
+	a := Build(Myrinet(), 6, 9)
+	b := Build(Myrinet(), 6, 9)
+	if len(a.Net.Stats()) != len(b.Net.Stats()) {
+		t.Fatal("nondeterministic topology")
+	}
+}

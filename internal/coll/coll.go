@@ -1,0 +1,208 @@
+// Package coll implements collective communication operations on the mpi
+// runtime. The central operation is the regular All-to-All (total
+// exchange with equal message sizes), in the Direct Exchange form the
+// paper models (Algorithm 1, the implementation used by LAM-MPI and
+// MPICH at the time), plus alternative algorithms used as ablation
+// baselines, and the auxiliary collectives referenced by the related
+// work (Scatter, Gather, Allgather, Broadcast).
+package coll
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Reserved user-level tag bases, one per collective family.
+const (
+	tagAlltoall  int32 = 1000
+	tagScatter   int32 = 2000
+	tagGather    int32 = 3000
+	tagAllgather int32 = 4000
+	tagBcast     int32 = 5000
+)
+
+// Algorithm selects an All-to-All implementation.
+type Algorithm int
+
+const (
+	// Direct is the paper's Algorithm 1: n-1 rounds, in round t rank i
+	// sends to (i+t) mod n while receiving from (i-t) mod n, waiting for
+	// both before the next round. Destination rotation spreads load;
+	// there is no global synchronization between rounds.
+	Direct Algorithm = iota
+	// PostAll posts every receive and every send at once and waits for
+	// all of them: maximum injection pressure, no round structure.
+	PostAll
+	// Bruck is the log-round store-and-forward algorithm: ceil(log2 n)
+	// rounds, each moving about half the blocks; total traffic grows by
+	// a log factor but start-ups drop from n-1 to log2 n.
+	Bruck
+	// Pairwise is the XOR-pattern exchange: in round t, partners i and
+	// i^t swap. Requires a power-of-two rank count; callers fall back to
+	// Direct otherwise.
+	Pairwise
+)
+
+// Algorithms lists all All-to-All variants.
+var Algorithms = []Algorithm{Direct, PostAll, Bruck, Pairwise}
+
+func (a Algorithm) String() string {
+	switch a {
+	case Direct:
+		return "direct"
+	case PostAll:
+		return "postall"
+	case Bruck:
+		return "bruck"
+	case Pairwise:
+		return "pairwise"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Alltoall runs one total exchange with per-pair message size m using the
+// chosen algorithm. Every rank must call it.
+func Alltoall(r *mpi.Rank, m int, alg Algorithm) {
+	switch alg {
+	case Direct:
+		alltoallDirect(r, m)
+	case PostAll:
+		alltoallPostAll(r, m)
+	case Bruck:
+		alltoallBruck(r, m)
+	case Pairwise:
+		if r.Size()&(r.Size()-1) == 0 {
+			alltoallPairwise(r, m)
+		} else {
+			alltoallDirect(r, m)
+		}
+	default:
+		panic("coll: unknown algorithm")
+	}
+}
+
+// alltoallDirect is Algorithm 1 of the paper.
+func alltoallDirect(r *mpi.Rank, m int) {
+	n := r.Size()
+	for t := 1; t < n; t++ {
+		dst := (r.ID() + t) % n
+		src := (r.ID() - t + n) % n
+		r.Sendrecv(dst, tagAlltoall+int32(t), m, src, tagAlltoall+int32(t))
+	}
+}
+
+// alltoallPostAll posts everything nonblocking and waits once.
+func alltoallPostAll(r *mpi.Rank, m int) {
+	n := r.Size()
+	qs := make([]*mpi.Request, 0, 2*(n-1))
+	for t := 1; t < n; t++ {
+		src := (r.ID() - t + n) % n
+		qs = append(qs, r.Irecv(src, tagAlltoall+int32(t)))
+	}
+	for t := 1; t < n; t++ {
+		dst := (r.ID() + t) % n
+		qs = append(qs, r.Isend(dst, tagAlltoall+int32(t), m))
+	}
+	r.WaitAll(qs...)
+}
+
+// alltoallBruck runs the Bruck algorithm, tracking only data volumes: in
+// the round with distance k, every block whose index has a nonzero k-bit
+// is forwarded, so the transfer size is m times the number of such
+// blocks.
+func alltoallBruck(r *mpi.Rank, m int) {
+	n := r.Size()
+	round := 0
+	for k := 1; k < n; k <<= 1 {
+		blocks := 0
+		for j := 1; j < n; j++ {
+			if j&k != 0 {
+				blocks++
+			}
+		}
+		dst := (r.ID() + k) % n
+		src := (r.ID() - k + n) % n
+		size := blocks * m
+		if size == 0 {
+			size = 1
+		}
+		r.Sendrecv(dst, tagAlltoall+int32(round), size, src, tagAlltoall+int32(round))
+		round++
+	}
+}
+
+// alltoallPairwise is the XOR exchange (power-of-two n only).
+func alltoallPairwise(r *mpi.Rank, m int) {
+	n := r.Size()
+	for t := 1; t < n; t++ {
+		partner := r.ID() ^ t
+		r.Sendrecv(partner, tagAlltoall+int32(t), m, partner, tagAlltoall+int32(t))
+	}
+}
+
+// Scatter distributes one m-byte block from root to every other rank
+// (linear algorithm, the shape assumed by the related-work models).
+func Scatter(r *mpi.Rank, root, m int) {
+	if r.ID() == root {
+		for dst := 0; dst < r.Size(); dst++ {
+			if dst != root {
+				r.Send(dst, tagScatter, m)
+			}
+		}
+	} else {
+		r.Recv(root, tagScatter)
+	}
+}
+
+// Gather collects one m-byte block from every rank at root (linear).
+func Gather(r *mpi.Rank, root, m int) {
+	if r.ID() == root {
+		for src := 0; src < r.Size(); src++ {
+			if src != root {
+				r.Recv(src, tagGather)
+			}
+		}
+	} else {
+		r.Send(root, tagGather, m)
+	}
+}
+
+// Allgather runs the ring algorithm: n-1 steps, each passing an m-byte
+// block to the successor.
+func Allgather(r *mpi.Rank, m int) {
+	n := r.Size()
+	if n == 1 {
+		return
+	}
+	dst := (r.ID() + 1) % n
+	src := (r.ID() - 1 + n) % n
+	for t := 0; t < n-1; t++ {
+		r.Sendrecv(dst, tagAllgather+int32(t), m, src, tagAllgather+int32(t))
+	}
+}
+
+// Bcast broadcasts an m-byte message from root using a binomial tree.
+func Bcast(r *mpi.Rank, root, m int) {
+	n := r.Size()
+	vrank := (r.ID() - root + n) % n
+	// Receive from parent (if not root).
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			parent := ((vrank - mask) + root) % n
+			r.Recv(parent, tagBcast)
+			break
+		}
+		mask <<= 1
+	}
+	// Forward to children.
+	mask >>= 1
+	for ; mask > 0; mask >>= 1 {
+		if vrank+mask < n {
+			child := (vrank + mask + root) % n
+			r.Send(child, tagBcast, m)
+		}
+	}
+}

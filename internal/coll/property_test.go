@@ -1,0 +1,61 @@
+package coll
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+)
+
+// TestAlltoallPayloadConservationProperty: across random small rank
+// counts and message sizes, the fabric carries at least the payload
+// volume each algorithm is supposed to move, and the run terminates
+// (no deadlock) with positive completion time. Direct/PostAll/Pairwise
+// move exactly n(n-1) payload messages; Bruck trades bandwidth for
+// start-ups so it moves at least that much.
+func TestAlltoallPayloadConservationProperty(t *testing.T) {
+	prop := func(seed int64, n8, m16 uint16, algPick uint8) bool {
+		n := int(n8%6) + 2
+		m := int(m16%8192) + 128
+		alg := Algorithms[int(algPick)%len(Algorithms)]
+		cl := cluster.Build(cluster.GigabitEthernet(), n, seed)
+		w := mpi.NewWorld(cl, mpi.Config{})
+		meas := Measure(w, 0, 1, func(r *mpi.Rank) { Alltoall(r, m, alg) })
+		if meas.Times[0] <= 0 {
+			return false
+		}
+		var wantPayload int64
+		switch alg {
+		case Bruck:
+			// Sum over rounds of blocks*m (at least the direct volume
+			// for n >= 2 is not guaranteed, so just require > 0).
+			wantPayload = int64(m)
+		default:
+			wantPayload = int64(n*(n-1)) * int64(m)
+		}
+		return cl.Fabric.TotalStats().BytesSent >= wantPayload
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMeasureMonotoneUnderLoadProperty: adding ranks never makes the
+// same-size All-to-All complete faster by more than measurement jitter
+// allows (sanity of the harness, not a strict theorem — tolerance 20%).
+func TestMeasureMonotoneUnderLoadProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		m := 20_000
+		run := func(n int) float64 {
+			cl := cluster.Build(cluster.Myrinet(), n, seed)
+			w := mpi.NewWorld(cl, mpi.Config{})
+			return Measure(w, 0, 1, func(r *mpi.Rank) { Alltoall(r, m, Direct) }).Mean()
+		}
+		small, large := run(4), run(8)
+		return large > small*0.8
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

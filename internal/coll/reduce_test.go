@@ -1,0 +1,85 @@
+package coll
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+)
+
+func TestReduceCompletes(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 7, 8, 16} {
+		for _, root := range []int{0, n - 1} {
+			w := world(t, cluster.GigabitEthernet(), n, 21)
+			meas := Measure(w, 0, 1, func(r *mpi.Rank) { Reduce(r, root, 10_000) })
+			if meas.Times[0] <= 0 {
+				t.Fatalf("n=%d root=%d: no time elapsed", n, root)
+			}
+		}
+	}
+}
+
+func TestAllreduceCompletesAllShapes(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 6, 8} {
+		w := world(t, cluster.GigabitEthernet(), n, 22)
+		meas := Measure(w, 0, 1, func(r *mpi.Rank) { Allreduce(r, 20_000) })
+		if meas.Times[0] <= 0 {
+			t.Fatalf("n=%d: no time elapsed", n)
+		}
+	}
+}
+
+func TestReduceScatterCompletes(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 5, 6} {
+		w := world(t, cluster.GigabitEthernet(), n, 23)
+		meas := Measure(w, 0, 1, func(r *mpi.Rank) { ReduceScatter(r, 8_000) })
+		if meas.Times[0] <= 0 {
+			t.Fatalf("n=%d: no time elapsed", n)
+		}
+	}
+}
+
+func TestAllreduceRecursiveDoublingBeatsReduceBcast(t *testing.T) {
+	// For power-of-two n the recursive-doubling path takes log2(n)
+	// exchange steps vs 2·log2(n) for reduce+bcast; with large messages
+	// it must win.
+	const n, m = 16, 200_000
+	wA := world(t, cluster.GigabitEthernet(), n, 24)
+	rd := Measure(wA, 1, 2, func(r *mpi.Rank) { Allreduce(r, m) })
+	wB := world(t, cluster.GigabitEthernet(), n, 24)
+	rb := Measure(wB, 1, 2, func(r *mpi.Rank) {
+		Reduce(r, 0, m)
+		Bcast(r, 0, m)
+	})
+	if rd.Mean() >= rb.Mean() {
+		t.Fatalf("recursive doubling (%v) not faster than reduce+bcast (%v)", rd.Mean(), rb.Mean())
+	}
+}
+
+func TestReduceTreeShallowerThanLinear(t *testing.T) {
+	// Binomial reduce is O(log n) rounds; a linear gather is O(n).
+	const n, m = 16, 100_000
+	wR := world(t, cluster.FastEthernet(), n, 25)
+	red := Measure(wR, 1, 2, func(r *mpi.Rank) { Reduce(r, 0, m) })
+	wG := world(t, cluster.FastEthernet(), n, 25)
+	gat := Measure(wG, 1, 2, func(r *mpi.Rank) { Gather(r, 0, m) })
+	if red.Mean() >= gat.Mean() {
+		t.Fatalf("binomial reduce (%v) not faster than linear gather (%v)", red.Mean(), gat.Mean())
+	}
+}
+
+func TestReductionCollectivesOnLosslessNetwork(t *testing.T) {
+	cl := cluster.Build(cluster.Myrinet(), 8, 26)
+	w := mpi.NewWorld(cl, mpi.Config{})
+	meas := Measure(w, 0, 1, func(r *mpi.Rank) {
+		Reduce(r, 0, 50_000)
+		Allreduce(r, 50_000)
+		ReduceScatter(r, 50_000)
+	})
+	if cl.Net.Drops() != 0 {
+		t.Fatalf("lossless network dropped %d packets", cl.Net.Drops())
+	}
+	if meas.Times[0] <= 0 {
+		t.Fatal("no time elapsed")
+	}
+}

@@ -1,0 +1,214 @@
+// Package exp defines and runs the paper's evaluation: one experiment
+// per figure (F2–F14), the signature parameter table (TA), and the
+// ablations called out in DESIGN.md (AB1–AB3). Each experiment returns
+// tabular Series that cmd/atabench prints and bench_test.go reports.
+//
+// Experiments accept a Config whose Scale field shrinks grids and
+// message sizes so the full suite stays affordable in CI; Scale = 1
+// reproduces the paper's grids (message sweeps to 1.2 MB, up to 50
+// processes).
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/calib"
+	"repro/internal/cluster"
+	"repro/internal/coll"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/signature"
+)
+
+// Config controls experiment execution.
+type Config struct {
+	// Scale multiplies grid density and maximum message sizes; 1.0 is
+	// the paper's scale. Values in (0, 1) shrink the grids.
+	Scale float64
+	// Warmup and Reps control the per-point measurement protocol (the
+	// paper averaged 100 runs; simulation variance is lower, so small
+	// values suffice).
+	Warmup int
+	Reps   int
+	// Seed drives every simulation in the experiment.
+	Seed int64
+	// Algorithm is the All-to-All implementation under test. The
+	// default, PostAll, matches the nonblocking post-everything direct
+	// exchange of the LAM/MPICH implementations the paper measured.
+	Algorithm coll.Algorithm
+}
+
+// DefaultConfig is the CI-affordable configuration.
+func DefaultConfig() Config {
+	return Config{Scale: 0.25, Warmup: 1, Reps: 2, Seed: 1}
+}
+
+// PaperConfig reproduces the paper's grids.
+func PaperConfig() Config {
+	return Config{Scale: 1.0, Warmup: 1, Reps: 3, Seed: 1}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Scale == 0 {
+		c.Scale = d.Scale
+	}
+	if c.Warmup == 0 {
+		c.Warmup = d.Warmup
+	}
+	if c.Reps == 0 {
+		c.Reps = d.Reps
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	return c
+}
+
+// Series is one table of results: a name, column headers and rows.
+type Series struct {
+	Name string
+	Cols []string
+	Rows [][]float64
+}
+
+// Result is an executed experiment.
+type Result struct {
+	ID     string
+	Title  string
+	Series []Series
+	Notes  []string
+}
+
+// Note appends a formatted annotation to the result.
+func (r *Result) Note(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Experiment couples an identifier with a runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) Result
+}
+
+// registry of all experiments, populated by init functions in the
+// per-figure files.
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every registered experiment sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q", id)
+}
+
+// ---- shared helpers ----
+
+// scaleSize scales a byte count, keeping at least 256 bytes.
+func scaleSize(m int, scale float64) int {
+	s := int(float64(m) * scale)
+	if s < 256 {
+		s = 256
+	}
+	return s
+}
+
+// scaleCount scales an integer count, keeping at least lo.
+func scaleCount(n int, scale float64, lo int) int {
+	s := int(float64(n) * scale)
+	if s < lo {
+		s = lo
+	}
+	return s
+}
+
+// messageSweep returns the paper's message-size sweep (to 1.2 MB),
+// scaled. It always contains enough points for a signature fit.
+func messageSweep(scale float64) []int {
+	base := []int{
+		1 << 10, 4 << 10, 16 << 10, 64 << 10, 128 << 10,
+		256 << 10, 512 << 10, 768 << 10, 1 << 20, 1<<20 + 200<<10,
+	}
+	out := make([]int, len(base))
+	for i, m := range base {
+		out[i] = scaleSize(m, scale)
+	}
+	return dedupInts(out)
+}
+
+func dedupInts(in []int) []int {
+	sort.Ints(in)
+	out := in[:0]
+	for i, v := range in {
+		if i == 0 || v != in[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// CurvePoint is one measured (message size → completion time) point.
+type CurvePoint struct {
+	M    int
+	Mean float64
+	Min  float64
+	Max  float64
+}
+
+// alltoallCurve measures the All-to-All completion time across a message
+// size sweep at fixed process count. Each point runs on a fresh cluster
+// (seeded deterministically) with warmup repetitions.
+func alltoallCurve(p cluster.Profile, n int, sizes []int, cfg Config) []CurvePoint {
+	out := make([]CurvePoint, 0, len(sizes))
+	for i, m := range sizes {
+		cl := cluster.Build(p, n, cfg.Seed+int64(i)*101)
+		w := mpi.NewWorld(cl, mpi.Config{})
+		meas := coll.Measure(w, cfg.Warmup, cfg.Reps, func(r *mpi.Rank) {
+			coll.Alltoall(r, m, cfg.Algorithm)
+		})
+		out = append(out, CurvePoint{M: m, Mean: meas.Mean(), Min: meas.Min(), Max: meas.Max()})
+	}
+	return out
+}
+
+// alltoallPoint measures a single (n, m) combination.
+func alltoallPoint(p cluster.Profile, n, m int, cfg Config, seedShift int64) float64 {
+	cl := cluster.Build(p, n, cfg.Seed+seedShift)
+	w := mpi.NewWorld(cl, mpi.Config{})
+	meas := coll.Measure(w, cfg.Warmup, cfg.Reps, func(r *mpi.Rank) {
+		coll.Alltoall(r, m, cfg.Algorithm)
+	})
+	return meas.Mean()
+}
+
+// hockneyFor calibrates the Hockney parameters for a profile.
+func hockneyFor(p cluster.Profile, cfg Config) model.Hockney {
+	return calib.PingPong(p, mpi.Config{}, cfg.Seed, calib.PingPongConfig{Reps: 3})
+}
+
+// fitProfile calibrates, measures a sweep at n′ and fits the signature —
+// the full Section 7 procedure for one network.
+func fitProfile(p cluster.Profile, n int, cfg Config) (model.Hockney, []CurvePoint, model.Signature, signature.Report, error) {
+	h := hockneyFor(p, cfg)
+	curve := alltoallCurve(p, n, messageSweep(cfg.Scale), cfg)
+	samples := make([]signature.Sample, len(curve))
+	for i, c := range curve {
+		samples[i] = signature.Sample{M: c.M, T: c.Mean}
+	}
+	sig, rep, err := signature.Fit(h, n, samples, signature.Options{})
+	return h, curve, sig, rep, err
+}

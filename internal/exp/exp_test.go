@@ -1,0 +1,149 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps experiment tests affordable.
+func tinyConfig() Config {
+	return Config{Scale: 0.05, Warmup: 0, Reps: 1, Seed: 3}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"AB1", "AB2", "AB3",
+		"EX1", "EX2", "EX3",
+		"F02", "F03", "F04", "F05", "F06", "F07", "F08",
+		"F09", "F10", "F11", "F12", "F13", "F14", "TA",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Fatalf("registry[%d] = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("F09"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+func TestMessageSweepScaling(t *testing.T) {
+	full := messageSweep(1.0)
+	if len(full) < 8 {
+		t.Fatalf("full sweep too small: %v", full)
+	}
+	if full[len(full)-1] != 1<<20+200<<10 {
+		t.Fatalf("full sweep must reach 1.2MB, got %d", full[len(full)-1])
+	}
+	small := messageSweep(0.05)
+	if small[len(small)-1] >= full[len(full)-1] {
+		t.Fatal("scaled sweep not smaller")
+	}
+	for i := 1; i < len(small); i++ {
+		if small[i] <= small[i-1] {
+			t.Fatalf("sweep not strictly increasing: %v", small)
+		}
+	}
+}
+
+func TestScaleHelpers(t *testing.T) {
+	if scaleSize(1<<20, 0.5) != 1<<19 {
+		t.Fatal("scaleSize wrong")
+	}
+	if scaleSize(100, 0.001) != 256 {
+		t.Fatal("scaleSize floor wrong")
+	}
+	if scaleCount(40, 0.25, 8) != 10 {
+		t.Fatal("scaleCount wrong")
+	}
+	if scaleCount(40, 0.1, 8) != 8 {
+		t.Fatal("scaleCount floor wrong")
+	}
+}
+
+func TestFitExperimentRuns(t *testing.T) {
+	e, err := ByID("F12") // Myrinet is the fastest profile to simulate
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(tinyConfig())
+	if len(res.Series) == 0 {
+		t.Fatalf("no series: notes=%v", res.Notes)
+	}
+	s := res.Series[0]
+	if len(s.Rows) < 4 {
+		t.Fatalf("too few rows: %d", len(s.Rows))
+	}
+	for _, row := range s.Rows {
+		measured, lb := row[1], row[2]
+		if measured <= 0 || lb <= 0 {
+			t.Fatalf("nonpositive times in row %v", row)
+		}
+		if measured < lb*0.8 {
+			t.Fatalf("measured %v implausibly below lower bound %v", measured, lb)
+		}
+	}
+	joined := strings.Join(res.Notes, "\n")
+	if !strings.Contains(joined, "signature") {
+		t.Fatalf("notes missing signature: %v", res.Notes)
+	}
+}
+
+func TestRenderText(t *testing.T) {
+	r := Result{
+		ID: "X", Title: "demo",
+		Series: []Series{{
+			Name: "s",
+			Cols: []string{"a", "b"},
+			Rows: [][]float64{{1, 2.5}, {3, 4.25}},
+		}},
+		Notes: []string{"hello"},
+	}
+	var buf bytes.Buffer
+	WriteText(&buf, r)
+	out := buf.String()
+	for _, want := range []string{"X", "demo", "a", "b", "2.5", "4.25", "# hello"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	WriteCSV(&buf, r)
+	if !strings.Contains(buf.String(), "a,b") || !strings.Contains(buf.String(), "1,2.5") {
+		t.Fatalf("csv output wrong:\n%s", buf.String())
+	}
+}
+
+func TestFormatCell(t *testing.T) {
+	if formatCell(42) != "42" {
+		t.Fatalf("int formatting: %s", formatCell(42))
+	}
+	if formatCell(0.125) != "0.125" {
+		t.Fatalf("float formatting: %s", formatCell(0.125))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Scale <= 0 || cfg.Reps <= 0 || cfg.Seed == 0 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	p := PaperConfig()
+	if p.Scale != 1.0 {
+		t.Fatal("paper config must be full scale")
+	}
+}

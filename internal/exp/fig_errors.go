@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"repro/internal/cluster"
+)
+
+// errorExperiment implements the Figures 8/11/14 pattern: fit the
+// signature at n′, then report the estimation error
+// (measured/estimated − 1)·100% as a function of the process count for
+// the paper's four message sizes (128 kB to 1 MB).
+func errorExperiment(id, title string, profile func() cluster.Profile, fitN int, gridN []int) Experiment {
+	return Experiment{
+		ID:    id,
+		Title: title,
+		Run: func(cfg Config) Result {
+			cfg = cfg.withDefaults()
+			p := profile()
+			n := scaleCount(fitN, cfg.Scale, 8)
+			res := Result{ID: id, Title: title}
+			_, _, sig, _, err := fitProfile(p, n, cfg)
+			if err != nil {
+				res.Note("fit failed: %v", err)
+				return res
+			}
+			res.Note("signature fitted at n'=%d: %s", n, sig)
+
+			sizes := []int{128 << 10, 256 << 10, 512 << 10, 1 << 20}
+			for i := range sizes {
+				sizes[i] = scaleSize(sizes[i], cfg.Scale)
+			}
+			sizes = dedupInts(sizes)
+			s := Series{
+				Name: "error",
+				Cols: []string{"nodes", "msg_bytes", "measured_s", "estimated_s", "err_pct"},
+			}
+			var satErrSum float64
+			var satErrN int
+			for gi, gn := range gridN {
+				gn = scaleCount(gn, cfg.Scale, 4)
+				if gn < 2 {
+					continue
+				}
+				for si, m := range sizes {
+					meas := alltoallPoint(p, gn, m, cfg, int64(1000+gi*37+si*7))
+					pred := sig.Predict(gn, m)
+					errPct := (meas/pred - 1) * 100
+					s.Rows = append(s.Rows, []float64{
+						float64(gn), float64(m), meas, pred, errPct,
+					})
+					if gn >= n { // saturated region: the model's domain
+						if errPct < 0 {
+							satErrSum -= errPct
+						} else {
+							satErrSum += errPct
+						}
+						satErrN++
+					}
+				}
+			}
+			res.Series = append(res.Series, s)
+			if satErrN > 0 {
+				res.Note("mean |error| in the saturated region (n >= n'): %.1f%%", satErrSum/float64(satErrN))
+			}
+			res.Note("paper: error usually below 10%% once the network is saturated")
+			return res
+		},
+	}
+}
+
+func init() {
+	register(errorExperiment("F08",
+		"Fig. 8: estimation error on Fast Ethernet vs process count",
+		cluster.FastEthernet, 24, []int{8, 12, 16, 20, 24, 32, 40}))
+	register(errorExperiment("F11",
+		"Fig. 11: estimation error on Gigabit Ethernet vs process count",
+		cluster.GigabitEthernet, 40, []int{8, 16, 24, 32, 40, 50}))
+	register(errorExperiment("F14",
+		"Fig. 14: estimation error on Myrinet vs process count",
+		cluster.Myrinet, 24, []int{8, 16, 24, 32, 40, 50}))
+}

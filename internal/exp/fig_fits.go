@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/model"
+)
+
+// fitExperiment implements the Figures 6/9/12 pattern: measure the
+// All-to-All on one network at the paper's sample process count n′,
+// fit the contention signature, and emit measured vs lower bound vs
+// prediction across the message sweep.
+func fitExperiment(id, title string, profile func() cluster.Profile, paperN int, paperGamma, paperDeltaMS float64) Experiment {
+	return Experiment{
+		ID:    id,
+		Title: title,
+		Run: func(cfg Config) Result {
+			cfg = cfg.withDefaults()
+			p := profile()
+			n := scaleCount(paperN, cfg.Scale, 8)
+			res := Result{ID: id, Title: title}
+			h, curve, sig, rep, err := fitProfile(p, n, cfg)
+			if err != nil {
+				res.Note("fit failed: %v", err)
+				return res
+			}
+			s := Series{
+				Name: "fit",
+				Cols: []string{"msg_bytes", "measured_s", "lower_bound_s", "prediction_s", "ratio_vs_lb"},
+			}
+			for _, c := range curve {
+				lb := model.LowerBound(h, n, c.M)
+				s.Rows = append(s.Rows, []float64{
+					float64(c.M), c.Mean, lb, sig.Predict(n, c.M), c.Mean / lb,
+				})
+			}
+			res.Series = append(res.Series, s)
+			res.Note("hockney: %s", h)
+			res.Note("signature: %s", sig)
+			res.Note("fit MAPE: %.1f%%", rep.MAPE*100)
+			res.Note("paper reports: γ=%.4f δ=%.2fms at n'=%d (shape comparison only)",
+				paperGamma, paperDeltaMS, paperN)
+			return res
+		},
+	}
+}
+
+func init() {
+	register(fitExperiment("F06",
+		"Fig. 6: fitting MPI_Alltoall on Fast Ethernet (24 machines)",
+		cluster.FastEthernet, 24, 1.0195, 8.23))
+	register(fitExperiment("F09",
+		"Fig. 9: fitting MPI_Alltoall on Gigabit Ethernet (40 machines)",
+		cluster.GigabitEthernet, 40, 4.3628, 4.93))
+	register(fitExperiment("F12",
+		"Fig. 12: fitting MPI_Alltoall on Myrinet (24 processes)",
+		cluster.Myrinet, 24, 2.49754, 0))
+}

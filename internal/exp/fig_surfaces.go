@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"repro/internal/cluster"
+)
+
+// surfaceExperiment implements the Figures 7/10/13 pattern: fit the
+// signature at the paper's sample count n′, then predict and measure the
+// All-to-All across a (process count × message size) grid, demonstrating
+// extrapolation across n from a single fit.
+func surfaceExperiment(id, title string, profile func() cluster.Profile, fitN int, gridN []int) Experiment {
+	return Experiment{
+		ID:    id,
+		Title: title,
+		Run: func(cfg Config) Result {
+			cfg = cfg.withDefaults()
+			p := profile()
+			n := scaleCount(fitN, cfg.Scale, 8)
+			res := Result{ID: id, Title: title}
+			h, _, sig, _, err := fitProfile(p, n, cfg)
+			if err != nil {
+				res.Note("fit failed: %v", err)
+				return res
+			}
+			res.Note("hockney: %s", h)
+			res.Note("signature fitted at n'=%d: %s", n, sig)
+
+			sizes := surfaceSizes(cfg.Scale)
+			s := Series{
+				Name: "surface",
+				Cols: []string{"nodes", "msg_bytes", "measured_s", "prediction_s", "rel_err_pct"},
+			}
+			for gi, gn := range gridN {
+				gn = scaleCount(gn, cfg.Scale, 4)
+				if gn < 2 {
+					continue
+				}
+				for si, m := range sizes {
+					meas := alltoallPoint(p, gn, m, cfg, int64(gi*131+si*17))
+					pred := sig.Predict(gn, m)
+					s.Rows = append(s.Rows, []float64{
+						float64(gn), float64(m), meas, pred, (meas/pred - 1) * 100,
+					})
+				}
+			}
+			res.Series = append(res.Series, s)
+			return res
+		},
+	}
+}
+
+// surfaceSizes is a sparser sweep than the fit experiments use, keeping
+// the 2-D grids affordable.
+func surfaceSizes(scale float64) []int {
+	base := []int{64 << 10, 256 << 10, 512 << 10, 1 << 20}
+	out := make([]int, len(base))
+	for i, m := range base {
+		out[i] = scaleSize(m, scale)
+	}
+	return dedupInts(out)
+}
+
+func init() {
+	register(surfaceExperiment("F07",
+		"Fig. 7: performance prediction surface on Fast Ethernet",
+		cluster.FastEthernet, 24, []int{8, 16, 24, 32, 40}))
+	register(surfaceExperiment("F10",
+		"Fig. 10: performance prediction surface on Gigabit Ethernet",
+		cluster.GigabitEthernet, 40, []int{8, 16, 24, 40, 50}))
+	register(surfaceExperiment("F13",
+		"Fig. 13: performance prediction surface on Myrinet",
+		cluster.Myrinet, 24, []int{8, 16, 24, 40, 50}))
+}

@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteText renders a Result as aligned text tables plus notes.
+func WriteText(w io.Writer, r Result) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "\n-- series %s --\n", s.Name)
+		widths := make([]int, len(s.Cols))
+		cells := make([][]string, len(s.Rows))
+		for j, c := range s.Cols {
+			widths[j] = len(c)
+		}
+		for i, row := range s.Rows {
+			cells[i] = make([]string, len(row))
+			for j, v := range row {
+				cells[i][j] = formatCell(v)
+				if len(cells[i][j]) > widths[j] {
+					widths[j] = len(cells[i][j])
+				}
+			}
+		}
+		for j, c := range s.Cols {
+			if j > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%*s", widths[j], c)
+		}
+		fmt.Fprintln(w)
+		for i := range cells {
+			for j := range cells[i] {
+				if j > 0 {
+					fmt.Fprint(w, "  ")
+				}
+				fmt.Fprintf(w, "%*s", widths[j], cells[i][j])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if len(r.Notes) > 0 {
+		fmt.Fprintln(w)
+		for _, n := range r.Notes {
+			fmt.Fprintf(w, "# %s\n", n)
+		}
+	}
+}
+
+// WriteCSV renders every series of a Result as CSV blocks.
+func WriteCSV(w io.Writer, r Result) {
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "# %s %s %s\n", r.ID, r.Title, s.Name)
+		fmt.Fprintln(w, strings.Join(s.Cols, ","))
+		for _, row := range s.Rows {
+			parts := make([]string, len(row))
+			for j, v := range row {
+				parts[j] = formatCell(v)
+			}
+			fmt.Fprintln(w, strings.Join(parts, ","))
+		}
+	}
+}
+
+// formatCell chooses a compact numeric representation: integers print
+// without decimals, everything else with six significant digits.
+func formatCell(v float64) string {
+	if v == float64(int64(v)) && v > -1e15 && v < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.6g", v)
+}

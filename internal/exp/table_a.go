@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"repro/internal/cluster"
+)
+
+// TA: the per-network contention signature table — the paper's headline
+// quantitative results, scattered through Section 8:
+//
+//	Fast Ethernet:    γ = 1.0195,  δ = 8.23 ms, M = 2 kB  (n' = 24)
+//	Gigabit Ethernet: γ = 4.3628,  δ = 4.93 ms, M = 8 kB  (n' = 40)
+//	Myrinet:          γ = 2.49754, δ ≈ 0               (n' = 24)
+func init() {
+	register(Experiment{
+		ID:    "TA",
+		Title: "Table A: contention signatures (γ, δ, M) of the three networks",
+		Run: func(cfg Config) Result {
+			cfg = cfg.withDefaults()
+			res := Result{ID: "TA", Title: "Table A"}
+			rows := []struct {
+				profile    cluster.Profile
+				fitN       int
+				paperGamma float64
+				paperDelta float64 // ms
+			}{
+				{cluster.FastEthernet(), 24, 1.0195, 8.23},
+				{cluster.GigabitEthernet(), 40, 4.3628, 4.93},
+				{cluster.Myrinet(), 24, 2.49754, 0},
+			}
+			s := Series{
+				Name: "signatures",
+				Cols: []string{
+					"profile_idx", "fit_n", "alpha_us", "beta_ns_per_B",
+					"gamma", "delta_ms", "M_bytes", "paper_gamma", "paper_delta_ms",
+				},
+			}
+			for i, row := range rows {
+				n := scaleCount(row.fitN, cfg.Scale, 8)
+				h, _, sig, _, err := fitProfile(row.profile, n, cfg)
+				if err != nil {
+					res.Note("%s: fit failed: %v", row.profile.Name, err)
+					continue
+				}
+				s.Rows = append(s.Rows, []float64{
+					float64(i), float64(n), h.Alpha * 1e6, h.Beta * 1e9,
+					sig.Gamma, sig.Delta * 1e3, float64(sig.M),
+					row.paperGamma, row.paperDelta,
+				})
+				res.Note("%s: %s | %s | paper: γ=%.4f δ=%.2fms",
+					row.profile.Name, h, sig, row.paperGamma, row.paperDelta)
+			}
+			res.Series = append(res.Series, s)
+			res.Note("row order: 0=fast-ethernet 1=gigabit-ethernet 2=myrinet")
+			return res
+		},
+	})
+}

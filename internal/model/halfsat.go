@@ -1,0 +1,58 @@
+package model
+
+// HalfSaturated is the "intermediate performance model for half-saturate
+// networks" the paper's conclusion calls for: the contention signature
+// describes a *saturated* network, so predictions overshoot when there
+// are too few processes to saturate the fabric (the large negative
+// errors at small n in the paper's Figs. 8, 11 and 14). This model ramps
+// the contention parameters in linearly between an onset process count
+// N0 (no contention: the lower bound holds) and a saturation count NSat
+// (full signature applies):
+//
+//	sat(n)  = clamp((n − N0) / (NSat − N0), 0, 1)
+//	γ_eff(n) = 1 + (γ − 1)·sat(n)
+//	δ_eff(n) = δ·sat(n)
+//	T(n, m)  = (n−1)·(α + mβ)·γ_eff(n) [+ (n−1)·δ_eff(n) if m ≥ M]
+//
+// N0 and NSat are fitted from a handful of measurements across process
+// counts (signature.FitSaturation).
+type HalfSaturated struct {
+	Sig  Signature
+	N0   int // largest process count with no visible contention
+	NSat int // smallest process count with full saturation
+}
+
+// Name implements Model.
+func (h HalfSaturated) Name() string { return "half-saturated-signature" }
+
+// Saturation returns sat(n) in [0, 1].
+func (h HalfSaturated) Saturation(n int) float64 {
+	if h.NSat <= h.N0 {
+		if n >= h.NSat {
+			return 1
+		}
+		return 0
+	}
+	s := float64(n-h.N0) / float64(h.NSat-h.N0)
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// Predict implements Model.
+func (h HalfSaturated) Predict(n, m int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	sat := h.Saturation(n)
+	gammaEff := 1 + (h.Sig.Gamma-1)*sat
+	t := LowerBound(h.Sig.H, n, m) * gammaEff
+	if m >= h.Sig.M {
+		t += float64(n-1) * h.Sig.Delta * sat
+	}
+	return t
+}

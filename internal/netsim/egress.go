@@ -1,0 +1,146 @@
+package netsim
+
+import "repro/internal/sim"
+
+// egress is one direction of a link: a FIFO output queue plus a
+// transmitter that serializes packets at the link rate and delivers them
+// to the peer device after the propagation latency.
+//
+// Store-and-forward semantics: a packet occupies queue bytes from enqueue
+// (or from reservation, in lossless mode) until its serialization onto
+// the wire completes.
+type egress struct {
+	sim     *sim.Simulator
+	name    string
+	rate    int64    // bytes per second
+	latency sim.Time // propagation delay
+	owner   *Device
+	peer    *Device
+
+	capBytes int  // capacity of queued+reserved bytes; 0 = unbounded
+	lossless bool // reserve downstream space before transmitting
+
+	q        []*Packet
+	prioQ    []*Packet // control-priority packets, served first
+	qBytes   int       // bytes of packets physically in the queue
+	reserved int       // bytes promised to in-flight upstream transmissions
+	busy     bool
+	waiters  []func() // upstream transmitters stalled on reservation
+
+	sent      uint64
+	sentBytes uint64
+	drops     uint64
+	maxQueue  int
+
+	drainCBs []func() // one-shot transmit-drain notifications (host NICs)
+}
+
+// enqueue admits a packet to the output queue, tail-dropping in lossy
+// mode when the buffer is full. In lossless mode the bytes were reserved
+// by the upstream transmitter, so admission always succeeds and converts
+// the reservation into real occupancy.
+func (e *egress) enqueue(pkt *Packet) {
+	if pkt.Prio {
+		// Control frames: exempt from capacity accounting and loss
+		// (they are a fraction of a percent of the bytes), served
+		// ahead of data.
+		e.qBytes += pkt.Size
+		e.prioQ = append(e.prioQ, pkt)
+		e.maybeStart()
+		return
+	}
+	if e.lossless {
+		if e.reserved < pkt.Size {
+			// Packets injected directly by a host (first hop) were not
+			// reserved; treat their enqueue as implicit reservation.
+			// This happens only on host NIC queues, which are unbounded.
+			e.qBytes += pkt.Size
+		} else {
+			e.reserved -= pkt.Size
+			e.qBytes += pkt.Size
+		}
+	} else {
+		if e.capBytes > 0 && e.qBytes+pkt.Size > e.capBytes {
+			e.drops++
+			return
+		}
+		e.qBytes += pkt.Size
+	}
+	if occ := e.qBytes + e.reserved; occ > e.maxQueue {
+		e.maxQueue = occ
+	}
+	e.q = append(e.q, pkt)
+	e.maybeStart()
+}
+
+// reserveBytes reserves space for an upstream packet (lossless mode).
+// If the queue is full, retry is registered and false returned.
+func (e *egress) reserveBytes(size int, retry func()) bool {
+	if e.capBytes > 0 && e.qBytes+e.reserved+size > e.capBytes {
+		e.waiters = append(e.waiters, retry)
+		return false
+	}
+	e.reserved += size
+	if occ := e.qBytes + e.reserved; occ > e.maxQueue {
+		e.maxQueue = occ
+	}
+	return true
+}
+
+// maybeStart begins serializing the head packet if the transmitter is
+// idle. In lossless mode it first reserves space downstream; a failed
+// reservation leaves the head packet in place (head-of-line blocking)
+// and arranges a retry when space frees.
+func (e *egress) maybeStart() {
+	if e.busy {
+		return
+	}
+	var pkt *Packet
+	if len(e.prioQ) > 0 {
+		pkt = e.prioQ[0]
+		copy(e.prioQ, e.prioQ[1:])
+		e.prioQ[len(e.prioQ)-1] = nil
+		e.prioQ = e.prioQ[:len(e.prioQ)-1]
+	} else {
+		if len(e.q) == 0 {
+			return
+		}
+		pkt = e.q[0]
+		if e.lossless && !e.peer.reserve(pkt, e.maybeStart) {
+			return
+		}
+		copy(e.q, e.q[1:])
+		e.q[len(e.q)-1] = nil
+		e.q = e.q[:len(e.q)-1]
+	}
+	e.busy = true
+	txTime := sim.TransmitTime(pkt.Size, e.rate)
+	e.sim.After(txTime, func() { e.finishTx(pkt) })
+}
+
+// finishTx completes serialization of pkt: frees its buffer bytes, wakes
+// stalled upstream transmitters, schedules delivery at the peer after the
+// propagation latency, and starts the next packet.
+func (e *egress) finishTx(pkt *Packet) {
+	e.busy = false
+	e.qBytes -= pkt.Size
+	e.sent++
+	e.sentBytes += uint64(pkt.Size)
+	if len(e.waiters) > 0 {
+		ws := e.waiters
+		e.waiters = nil
+		for _, w := range ws {
+			w()
+		}
+	}
+	peer := e.peer
+	e.sim.After(e.latency, func() { peer.arrive(pkt) })
+	if len(e.drainCBs) > 0 {
+		cbs := e.drainCBs
+		e.drainCBs = nil
+		for _, cb := range cbs {
+			cb()
+		}
+	}
+	e.maybeStart()
+}

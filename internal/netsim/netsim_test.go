@@ -1,0 +1,282 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// testRate is 1 MB/s so a 1000-byte packet serializes in exactly 1 ms.
+const testRate = 1_000_000
+
+func twoHostsDirect(t *testing.T) (*sim.Simulator, *Network, *Device, *Device) {
+	t.Helper()
+	s := sim.New(1)
+	n := New(s)
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	n.Connect(a, b, LinkConfig{Rate: testRate, Latency: 10 * sim.Microsecond})
+	n.ComputeRoutes()
+	return s, n, a, b
+}
+
+func TestDirectDeliveryTiming(t *testing.T) {
+	s, n, _, b := twoHostsDirect(t)
+	var arrival sim.Time
+	b.SetHandler(func(pkt *Packet) { arrival = s.Now() })
+	n.Inject(&Packet{Src: 0, Dst: 1, Size: 1000})
+	s.Run()
+	want := sim.Millisecond + 10*sim.Microsecond // serialize + propagate
+	if arrival != want {
+		t.Fatalf("arrival = %v, want %v", arrival, want)
+	}
+}
+
+func TestFIFOAndSerialization(t *testing.T) {
+	s, n, _, b := twoHostsDirect(t)
+	var seqs []int64
+	var times []sim.Time
+	b.SetHandler(func(pkt *Packet) {
+		seqs = append(seqs, pkt.Seq)
+		times = append(times, s.Now())
+	})
+	for i := 0; i < 3; i++ {
+		n.Inject(&Packet{Src: 0, Dst: 1, Size: 1000, Seq: int64(i)})
+	}
+	s.Run()
+	if len(seqs) != 3 || seqs[0] != 0 || seqs[1] != 1 || seqs[2] != 2 {
+		t.Fatalf("out-of-order delivery: %v", seqs)
+	}
+	// Packets serialize back to back: arrivals 1 ms apart.
+	for i := 1; i < 3; i++ {
+		if times[i]-times[i-1] != sim.Millisecond {
+			t.Fatalf("inter-arrival %v, want 1ms (times: %v)", times[i]-times[i-1], times)
+		}
+	}
+}
+
+func starNetwork(t *testing.T, hosts int, swCfg SwitchConfig, link LinkConfig) (*sim.Simulator, *Network) {
+	t.Helper()
+	s := sim.New(1)
+	n := New(s)
+	sw := n.AddSwitch("sw", swCfg)
+	for i := 0; i < hosts; i++ {
+		h := n.AddHost("h")
+		n.Connect(h, sw, link)
+	}
+	n.ComputeRoutes()
+	return s, n
+}
+
+func TestSwitchForwardingTiming(t *testing.T) {
+	link := LinkConfig{Rate: testRate, Latency: 10 * sim.Microsecond}
+	s, n := starNetwork(t, 2, SwitchConfig{PortBuffer: 1 << 20}, link)
+	var arrival sim.Time
+	n.Host(1).SetHandler(func(pkt *Packet) { arrival = s.Now() })
+	n.Inject(&Packet{Src: 0, Dst: 1, Size: 1000})
+	s.Run()
+	// Store-and-forward over two hops: 2×(serialize + propagate).
+	want := 2 * (sim.Millisecond + 10*sim.Microsecond)
+	if arrival != want {
+		t.Fatalf("arrival = %v, want %v", arrival, want)
+	}
+}
+
+func TestTailDropConservation(t *testing.T) {
+	link := LinkConfig{Rate: testRate, Latency: sim.Microsecond}
+	// Tiny switch buffer: 3 packets' worth.
+	s, n := starNetwork(t, 3, SwitchConfig{PortBuffer: 3000}, link)
+	var delivered int
+	n.Host(2).SetHandler(func(pkt *Packet) { delivered++ })
+	// Two senders flood host 2 simultaneously.
+	const per = 50
+	for i := 0; i < per; i++ {
+		n.Inject(&Packet{Src: 0, Dst: 2, Size: 1000, Seq: int64(i)})
+		n.Inject(&Packet{Src: 1, Dst: 2, Size: 1000, Seq: int64(i)})
+	}
+	s.Run()
+	drops := int(n.Drops())
+	if drops == 0 {
+		t.Fatal("expected tail drops with 2:1 fan-in and a 3-packet buffer")
+	}
+	if delivered+drops != 2*per {
+		t.Fatalf("packet conservation violated: delivered %d + drops %d != %d",
+			delivered, drops, 2*per)
+	}
+}
+
+func TestLosslessNoDropsAndConservation(t *testing.T) {
+	link := LinkConfig{Rate: testRate, Latency: sim.Microsecond}
+	s, n := starNetwork(t, 3, SwitchConfig{PortBuffer: 3000, Lossless: true}, link)
+	var delivered int
+	n.Host(2).SetHandler(func(pkt *Packet) { delivered++ })
+	const per = 50
+	for i := 0; i < per; i++ {
+		n.Inject(&Packet{Src: 0, Dst: 2, Size: 1000, Seq: int64(i)})
+		n.Inject(&Packet{Src: 1, Dst: 2, Size: 1000, Seq: int64(i)})
+	}
+	s.Run()
+	if n.Drops() != 0 {
+		t.Fatalf("lossless network dropped %d packets", n.Drops())
+	}
+	if delivered != 2*per {
+		t.Fatalf("delivered %d, want %d", delivered, 2*per)
+	}
+}
+
+func TestLosslessBackpressureThrottlesToBottleneck(t *testing.T) {
+	link := LinkConfig{Rate: testRate, Latency: sim.Microsecond}
+	s, n := starNetwork(t, 3, SwitchConfig{PortBuffer: 2000, Lossless: true}, link)
+	var last sim.Time
+	var delivered int
+	n.Host(2).SetHandler(func(pkt *Packet) { delivered++; last = s.Now() })
+	const per = 25
+	for i := 0; i < per; i++ {
+		n.Inject(&Packet{Src: 0, Dst: 2, Size: 1000})
+		n.Inject(&Packet{Src: 1, Dst: 2, Size: 1000})
+	}
+	s.Run()
+	// 50 packets drain through one 1 MB/s egress: at least 50 ms.
+	if last < 50*sim.Millisecond {
+		t.Fatalf("completed at %v; bottleneck egress should enforce >= 50ms", last)
+	}
+	if delivered != 2*per {
+		t.Fatalf("delivered %d, want %d", delivered, 2*per)
+	}
+}
+
+func TestFanInSharesBandwidthFairly(t *testing.T) {
+	link := LinkConfig{Rate: testRate, Latency: sim.Microsecond}
+	s, n := starNetwork(t, 3, SwitchConfig{PortBuffer: 1 << 20}, link)
+	counts := map[NodeID]int{}
+	n.Host(2).SetHandler(func(pkt *Packet) { counts[pkt.Src]++ })
+	const per = 100
+	for i := 0; i < per; i++ {
+		n.Inject(&Packet{Src: 0, Dst: 2, Size: 1000})
+		n.Inject(&Packet{Src: 1, Dst: 2, Size: 1000})
+	}
+	// Run only long enough for half the packets to drain.
+	s.RunUntil(100 * sim.Millisecond)
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("one flow starved: %v", counts)
+	}
+	diff := counts[0] - counts[1]
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 2 {
+		t.Fatalf("unfair interleaving under FIFO fan-in: %v", counts)
+	}
+}
+
+func TestHierarchicalRouting(t *testing.T) {
+	// Two leaf switches under a core switch (the paper's Fast Ethernet
+	// topology in miniature).
+	s := sim.New(1)
+	n := New(s)
+	core := n.AddSwitch("core", SwitchConfig{PortBuffer: 1 << 20})
+	leafA := n.AddSwitch("leafA", SwitchConfig{PortBuffer: 1 << 20})
+	leafB := n.AddSwitch("leafB", SwitchConfig{PortBuffer: 1 << 20})
+	link := LinkConfig{Rate: testRate, Latency: 10 * sim.Microsecond}
+	uplink := LinkConfig{Rate: 10 * testRate, Latency: 10 * sim.Microsecond}
+	n.Connect(leafA, core, uplink)
+	n.Connect(leafB, core, uplink)
+	var hostsA, hostsB []*Device
+	for i := 0; i < 2; i++ {
+		h := n.AddHost("ha")
+		n.Connect(h, leafA, link)
+		hostsA = append(hostsA, h)
+	}
+	for i := 0; i < 2; i++ {
+		h := n.AddHost("hb")
+		n.Connect(h, leafB, link)
+		hostsB = append(hostsB, h)
+	}
+	n.ComputeRoutes()
+
+	// Use distinct source NICs so the two paths are timed independently.
+	var crossArrive, localArrive sim.Time
+	hostsB[0].SetHandler(func(pkt *Packet) { crossArrive = s.Now() })
+	hostsA[0].SetHandler(func(pkt *Packet) { localArrive = s.Now() })
+	n.Inject(&Packet{Src: hostsA[0].ID(), Dst: hostsB[0].ID(), Size: 1000})
+	n.Inject(&Packet{Src: hostsA[1].ID(), Dst: hostsA[0].ID(), Size: 1000})
+	s.Run()
+	if crossArrive == 0 || localArrive == 0 {
+		t.Fatal("cross-switch or local packet not delivered")
+	}
+	// Cross-switch path has 4 hops (h→leafA→core→leafB→h); local has 2.
+	if crossArrive <= localArrive {
+		t.Fatalf("cross-switch (%v) should be slower than local (%v)", crossArrive, localArrive)
+	}
+}
+
+func TestUplinkBottleneck(t *testing.T) {
+	// 4 hosts per leaf; uplink has the same rate as a host link, so 4
+	// simultaneous cross-switch flows are 4:1 oversubscribed.
+	s := sim.New(1)
+	n := New(s)
+	core := n.AddSwitch("core", SwitchConfig{PortBuffer: 4000})
+	leafA := n.AddSwitch("leafA", SwitchConfig{PortBuffer: 4000})
+	leafB := n.AddSwitch("leafB", SwitchConfig{PortBuffer: 4000})
+	link := LinkConfig{Rate: testRate, Latency: sim.Microsecond}
+	n.Connect(leafA, core, link)
+	n.Connect(leafB, core, link)
+	for i := 0; i < 4; i++ {
+		h := n.AddHost("ha")
+		n.Connect(h, leafA, link)
+	}
+	for i := 0; i < 4; i++ {
+		h := n.AddHost("hb")
+		n.Connect(h, leafB, link)
+	}
+	n.ComputeRoutes()
+	var delivered int
+	for i := 4; i < 8; i++ {
+		n.Host(NodeID(i)).SetHandler(func(pkt *Packet) { delivered++ })
+	}
+	const per = 20
+	for i := 0; i < per; i++ {
+		for src := 0; src < 4; src++ {
+			n.Inject(&Packet{Src: NodeID(src), Dst: NodeID(4 + src), Size: 1000})
+		}
+	}
+	s.Run()
+	if n.Drops() == 0 {
+		t.Fatal("expected drops on the oversubscribed uplink")
+	}
+	if delivered+int(n.Drops()) != 4*per {
+		t.Fatalf("conservation: delivered %d + drops %d != %d", delivered, n.Drops(), 4*per)
+	}
+}
+
+func TestEgressStats(t *testing.T) {
+	s, n, _, b := twoHostsDirect(t)
+	b.SetHandler(func(pkt *Packet) {})
+	n.Inject(&Packet{Src: 0, Dst: 1, Size: 500})
+	n.Inject(&Packet{Src: 0, Dst: 1, Size: 500})
+	s.Run()
+	var found bool
+	for _, st := range n.Stats() {
+		if st.Name == "a->b" {
+			found = true
+			if st.Sent != 2 || st.SentBytes != 1000 {
+				t.Fatalf("stats = %+v", st)
+			}
+			if st.MaxQueue < 500 {
+				t.Fatalf("maxQueue = %d, want >= 500", st.MaxQueue)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("a->b egress not in stats")
+	}
+}
+
+func TestZeroSizedNetworkOperations(t *testing.T) {
+	s := sim.New(1)
+	n := New(s)
+	n.ComputeRoutes() // no devices: must not panic
+	if n.NumHosts() != 0 || n.Drops() != 0 {
+		t.Fatal("empty network should have zero counters")
+	}
+}

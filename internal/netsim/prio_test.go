@@ -1,0 +1,74 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPriorityPacketOvertakesData(t *testing.T) {
+	s, n, _, b := twoHostsDirect(t)
+	var order []int64
+	b.SetHandler(func(pkt *Packet) { order = append(order, pkt.Seq) })
+	// Queue three big data packets, then a priority packet: it must be
+	// delivered after the in-flight head but before the queued data.
+	for i := 0; i < 3; i++ {
+		n.Inject(&Packet{Src: 0, Dst: 1, Size: 1000, Seq: int64(i)})
+	}
+	n.Inject(&Packet{Src: 0, Dst: 1, Size: 100, Seq: 99, Prio: true})
+	s.Run()
+	if len(order) != 4 {
+		t.Fatalf("delivered %d packets", len(order))
+	}
+	if order[1] != 99 {
+		t.Fatalf("priority packet did not overtake: %v", order)
+	}
+}
+
+func TestPriorityNeverDropped(t *testing.T) {
+	link := LinkConfig{Rate: testRate, Latency: sim.Microsecond}
+	s, n := starNetwork(t, 3, SwitchConfig{PortBuffer: 2000}, link)
+	var prio, data int
+	n.Host(2).SetHandler(func(pkt *Packet) {
+		if pkt.Prio {
+			prio++
+		} else {
+			data++
+		}
+	})
+	// Saturate the tiny buffer with data, interleaving priority packets.
+	for i := 0; i < 50; i++ {
+		n.Inject(&Packet{Src: 0, Dst: 2, Size: 1000})
+		n.Inject(&Packet{Src: 1, Dst: 2, Size: 1000})
+		n.Inject(&Packet{Src: 0, Dst: 2, Size: 64, Prio: true})
+	}
+	s.Run()
+	if n.Drops() == 0 {
+		t.Fatal("expected data drops")
+	}
+	if prio != 50 {
+		t.Fatalf("priority packets lost: got %d, want 50", prio)
+	}
+	if data+int(n.Drops()) != 100 {
+		t.Fatalf("data conservation violated: %d + %d != 100", data, n.Drops())
+	}
+}
+
+func TestPriorityKeepsFIFOAmongThemselves(t *testing.T) {
+	s, n, _, b := twoHostsDirect(t)
+	var order []int64
+	b.SetHandler(func(pkt *Packet) {
+		if pkt.Prio {
+			order = append(order, pkt.Seq)
+		}
+	})
+	for i := 0; i < 10; i++ {
+		n.Inject(&Packet{Src: 0, Dst: 1, Size: 64, Seq: int64(i), Prio: true})
+	}
+	s.Run()
+	for i, q := range order {
+		if q != int64(i) {
+			t.Fatalf("priority reordering at %d: %v", i, order)
+		}
+	}
+}

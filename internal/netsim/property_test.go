@@ -1,0 +1,78 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// TestPacketConservationProperty: for random star networks, traffic
+// matrices and buffer sizes, every injected packet is either delivered
+// or counted as dropped — never duplicated, never lost silently. In
+// lossless mode drops must be zero.
+func TestPacketConservationProperty(t *testing.T) {
+	prop := func(seed int64, hosts8, pkts8, buf16 uint8, lossless bool) bool {
+		hosts := int(hosts8%6) + 2
+		pkts := int(pkts8%64) + 1
+		buf := (int(buf16%16) + 2) * 1500
+		s := sim.New(seed)
+		n := New(s)
+		sw := n.AddSwitch("sw", SwitchConfig{PortBuffer: buf, Lossless: lossless})
+		link := LinkConfig{Rate: 1_000_000, Latency: sim.Microsecond}
+		for i := 0; i < hosts; i++ {
+			n.Connect(n.AddHost("h"), sw, link)
+		}
+		n.ComputeRoutes()
+		delivered := 0
+		for i := 0; i < hosts; i++ {
+			n.Host(NodeID(i)).SetHandler(func(pkt *Packet) { delivered++ })
+		}
+		rng := s.Rand()
+		injected := 0
+		for k := 0; k < pkts; k++ {
+			src := rng.Intn(hosts)
+			dst := rng.Intn(hosts - 1)
+			if dst >= src {
+				dst++
+			}
+			n.Inject(&Packet{Src: NodeID(src), Dst: NodeID(dst), Size: 200 + rng.Intn(1300)})
+			injected++
+		}
+		s.Run()
+		if lossless && n.Drops() != 0 {
+			return false
+		}
+		return delivered+int(n.Drops()) == injected
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeliveryTimePhysicalBoundProperty: a packet can never arrive
+// earlier than its serialization plus propagation over the two hops of
+// a star network.
+func TestDeliveryTimePhysicalBoundProperty(t *testing.T) {
+	prop := func(seed int64, size16 uint16) bool {
+		size := int(size16%4096) + 64
+		s := sim.New(seed)
+		n := New(s)
+		sw := n.AddSwitch("sw", SwitchConfig{PortBuffer: 1 << 20})
+		link := LinkConfig{Rate: 2_000_000, Latency: 5 * sim.Microsecond}
+		a := n.AddHost("a")
+		b := n.AddHost("b")
+		n.Connect(a, sw, link)
+		n.Connect(b, sw, link)
+		n.ComputeRoutes()
+		var at sim.Time
+		b.SetHandler(func(pkt *Packet) { at = s.Now() })
+		n.Inject(&Packet{Src: 0, Dst: 1, Size: size})
+		s.Run()
+		bound := 2 * (sim.TransmitTime(size, 2_000_000) + 5*sim.Microsecond)
+		return at >= bound
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package signature
+
+import (
+	"errors"
+
+	"repro/internal/model"
+)
+
+// NPoint is one cross-process-count measurement at a fixed message size
+// for the saturation-ramp fit.
+type NPoint struct {
+	N int     // process count
+	M int     // message size (bytes)
+	T float64 // measured completion (s)
+}
+
+// ErrTooFewNPoints guards the saturation fit.
+var ErrTooFewNPoints = errors.New("signature: need at least 3 cross-n points to fit saturation")
+
+// FitSaturation estimates the half-saturated model's (N0, NSat) ramp
+// from measurements across process counts, given an already-fitted
+// saturated signature. It grid-searches breakpoints minimizing the sum
+// of squared relative errors — relative, because completion times across
+// n span orders of magnitude.
+//
+// This implements the paper's proposed "intermediate performance model
+// for half-saturate networks" (Section 9).
+func FitSaturation(sig model.Signature, points []NPoint) (model.HalfSaturated, error) {
+	if len(points) < 3 {
+		return model.HalfSaturated{}, ErrTooFewNPoints
+	}
+	maxN := 2
+	for _, p := range points {
+		if p.N > maxN {
+			maxN = p.N
+		}
+	}
+	best := model.HalfSaturated{Sig: sig, N0: 1, NSat: 2}
+	bestSSE := -1.0
+	for n0 := 1; n0 < maxN; n0++ {
+		for nsat := n0 + 1; nsat <= maxN+1; nsat++ {
+			cand := model.HalfSaturated{Sig: sig, N0: n0, NSat: nsat}
+			var sse float64
+			for _, p := range points {
+				pred := cand.Predict(p.N, p.M)
+				if pred <= 0 {
+					continue
+				}
+				r := p.T/pred - 1
+				sse += r * r
+			}
+			if bestSSE < 0 || sse < bestSSE {
+				bestSSE = sse
+				best = cand
+			}
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,95 @@
+package signature
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestHalfSaturatedPredictLimits(t *testing.T) {
+	sig := model.Signature{H: h, Gamma: 4, Delta: 5e-3, M: 8192}
+	hs := model.HalfSaturated{Sig: sig, N0: 8, NSat: 32}
+	// Below onset: exactly the lower bound.
+	m := 1 << 20
+	if got, want := hs.Predict(4, m), model.LowerBound(h, 4, m); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("unsaturated predict = %v, want lower bound %v", got, want)
+	}
+	// At/after saturation: exactly the signature.
+	if got, want := hs.Predict(40, m), sig.Predict(40, m); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("saturated predict = %v, want signature %v", got, want)
+	}
+	// Midpoint: strictly between.
+	mid := hs.Predict(20, m)
+	if mid <= model.LowerBound(h, 20, m) || mid >= sig.Predict(20, m) {
+		t.Fatalf("midpoint %v not between bound and signature", mid)
+	}
+}
+
+func TestSaturationMonotone(t *testing.T) {
+	hs := model.HalfSaturated{Sig: model.Signature{H: h, Gamma: 3}, N0: 4, NSat: 16}
+	prev := -1.0
+	for n := 2; n <= 24; n++ {
+		s := hs.Saturation(n)
+		if s < 0 || s > 1 {
+			t.Fatalf("saturation out of range at n=%d: %v", n, s)
+		}
+		if s < prev {
+			t.Fatalf("saturation not monotone at n=%d", n)
+		}
+		prev = s
+	}
+	// Degenerate ramp behaves like a step.
+	step := model.HalfSaturated{Sig: model.Signature{H: h, Gamma: 3}, N0: 8, NSat: 8}
+	if step.Saturation(7) != 0 || step.Saturation(8) != 1 {
+		t.Fatal("degenerate ramp should step at NSat")
+	}
+}
+
+func TestFitSaturationRecoversRamp(t *testing.T) {
+	sig := model.Signature{H: h, Gamma: 4.3, Delta: 5e-3, M: 8192}
+	truth := model.HalfSaturated{Sig: sig, N0: 6, NSat: 24}
+	var pts []NPoint
+	for _, n := range []int{2, 4, 6, 8, 12, 16, 20, 24, 32, 40} {
+		for _, m := range []int{128 << 10, 1 << 20} {
+			pts = append(pts, NPoint{N: n, M: m, T: truth.Predict(n, m)})
+		}
+	}
+	got, err := FitSaturation(sig, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N0 != truth.N0 || got.NSat != truth.NSat {
+		t.Fatalf("ramp = (%d, %d), want (%d, %d)", got.N0, got.NSat, truth.N0, truth.NSat)
+	}
+}
+
+func TestFitSaturationImprovesSmallNError(t *testing.T) {
+	// Synthetic world where contention ramps in: plain signature
+	// overshoots at small n; the half-saturated fit must cut the error.
+	sig := model.Signature{H: h, Gamma: 4, Delta: 4e-3, M: 4096}
+	truth := model.HalfSaturated{Sig: sig, N0: 4, NSat: 20}
+	var pts []NPoint
+	for n := 2; n <= 40; n += 2 {
+		pts = append(pts, NPoint{N: n, M: 512 << 10, T: truth.Predict(n, 512<<10)})
+	}
+	fitted, err := FitSaturation(sig, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errPlain, errHS float64
+	for _, p := range pts {
+		errPlain += math.Abs(p.T/sig.Predict(p.N, p.M) - 1)
+		errHS += math.Abs(p.T/fitted.Predict(p.N, p.M) - 1)
+	}
+	if errHS >= errPlain/4 {
+		t.Fatalf("half-saturated model should cut error at least 4x: plain %v vs hs %v", errPlain, errHS)
+	}
+}
+
+func TestFitSaturationTooFewPoints(t *testing.T) {
+	_, err := FitSaturation(model.Signature{H: h, Gamma: 2}, []NPoint{{N: 2, M: 1024, T: 0.1}})
+	if err != ErrTooFewNPoints {
+		t.Fatalf("err = %v, want ErrTooFewNPoints", err)
+	}
+}

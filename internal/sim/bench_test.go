@@ -1,0 +1,51 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw event scheduling+dispatch rate,
+// the figure that bounds how large a cluster simulation is affordable.
+func BenchmarkEventThroughput(b *testing.B) {
+	s := New(1)
+	var count int
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			s.After(100, tick)
+		}
+	}
+	s.After(100, tick)
+	b.ResetTimer()
+	s.Run()
+}
+
+// BenchmarkHeapChurn measures scheduling with a deep pending queue.
+func BenchmarkHeapChurn(b *testing.B) {
+	s := New(1)
+	for i := 0; i < 10_000; i++ {
+		s.At(Time(1_000_000+i), func() {})
+	}
+	var count int
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			s.After(1, tick)
+		}
+	}
+	s.After(1, tick)
+	b.ResetTimer()
+	s.RunUntil(999_999)
+}
+
+// BenchmarkProcContextSwitch measures coroutine park/unpark hand-offs.
+func BenchmarkProcContextSwitch(b *testing.B) {
+	s := New(1)
+	s.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	s.Run()
+}

@@ -1,0 +1,166 @@
+package sim
+
+import "fmt"
+
+type procState int
+
+const (
+	procNew procState = iota
+	procRunning
+	procParked
+	procDone
+)
+
+// Proc is a simulated process. Its body runs on a dedicated goroutine, but
+// the scheduler guarantees that at most one process goroutine (or the event
+// loop) executes at a time, with explicit hand-off, so simulated code needs
+// no locking and behaves deterministically.
+type Proc struct {
+	sim    *Simulator
+	name   string
+	resume chan struct{}
+	state  procState
+}
+
+// Name returns the process's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the owning simulator.
+func (p *Proc) Sim() *Simulator { return p.sim }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.sim.now }
+
+// Spawn schedules a new process to start at the current simulated time.
+// The body receives the Proc, whose blocking primitives (Sleep, Await)
+// advance simulated time.
+func (s *Simulator) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
+	s.procs = append(s.procs, p)
+	s.After(0, func() { p.start(body) })
+	return p
+}
+
+// SpawnAt is Spawn with an explicit start time.
+func (s *Simulator) SpawnAt(t Time, name string, body func(p *Proc)) *Proc {
+	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
+	s.procs = append(s.procs, p)
+	s.At(t, func() { p.start(body) })
+	return p
+}
+
+// start launches the process goroutine and transfers control to it until
+// it parks or finishes. Runs on the event-loop goroutine.
+func (p *Proc) start(body func(*Proc)) {
+	p.state = procRunning
+	go func() {
+		body(p)
+		p.state = procDone
+		p.sim.ctrl <- struct{}{}
+	}()
+	<-p.sim.ctrl
+}
+
+// park suspends the calling process goroutine and returns control to the
+// event loop. It resumes when unparkNow is invoked for this process.
+func (p *Proc) park() {
+	p.state = procParked
+	p.sim.ctrl <- struct{}{}
+	<-p.resume
+	p.state = procRunning
+}
+
+// unparkNow transfers control to the parked process until it parks again
+// or finishes. Must only be called from the event-loop goroutine (i.e.
+// from inside a scheduled event).
+func (p *Proc) unparkNow() {
+	if p.state != procParked {
+		panic(fmt.Sprintf("sim: unpark of process %q in state %d", p.name, p.state))
+	}
+	p.resume <- struct{}{}
+	<-p.sim.ctrl
+}
+
+// Sleep suspends the process for d of simulated time.
+func (p *Proc) Sleep(d Time) {
+	p.sim.After(d, func() { p.unparkNow() })
+	p.park()
+}
+
+// Yield reschedules the process at the current timestamp, letting other
+// events at the same instant run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Future is a one-shot completion that processes can Await. Completing a
+// future wakes all waiters at the current simulated time (in wait order).
+// The zero value is ready to use.
+type Future struct {
+	done    bool
+	waiters []*Proc
+}
+
+// Done reports whether the future has completed.
+func (f *Future) Done() bool { return f.done }
+
+// Complete marks the future done and schedules all waiters to resume.
+// Completing twice is a no-op.
+func (f *Future) Complete(s *Simulator) {
+	if f.done {
+		return
+	}
+	f.done = true
+	for _, w := range f.waiters {
+		w := w
+		s.After(0, func() { w.unparkNow() })
+	}
+	f.waiters = nil
+}
+
+// Await blocks the process until the future completes. Returns immediately
+// if it already has.
+func (p *Proc) Await(f *Future) {
+	if f.done {
+		return
+	}
+	f.waiters = append(f.waiters, p)
+	p.park()
+}
+
+// AwaitAll blocks until every future in fs has completed.
+func (p *Proc) AwaitAll(fs ...*Future) {
+	for _, f := range fs {
+		p.Await(f)
+	}
+}
+
+// WaitGroup counts outstanding work items for simulated processes. Unlike
+// sync.WaitGroup it is single-threaded and integrates with the simulated
+// clock.
+type WaitGroup struct {
+	n      int
+	future Future
+}
+
+// Add registers delta outstanding items.
+func (wg *WaitGroup) Add(delta int) { wg.n += delta }
+
+// DoneOne marks one item complete, waking waiters when the count hits zero.
+func (wg *WaitGroup) DoneOne(s *Simulator) {
+	wg.n--
+	if wg.n < 0 {
+		panic("sim: WaitGroup count below zero")
+	}
+	if wg.n == 0 {
+		wg.future.Complete(s)
+		wg.future = Future{} // reusable for a next round
+	}
+}
+
+// Wait blocks until the count reaches zero. If it is already zero, Wait
+// returns immediately.
+func (p *Proc) Wait(wg *WaitGroup) {
+	if wg.n == 0 {
+		return
+	}
+	p.Await(&wg.future)
+}

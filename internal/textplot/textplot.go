@@ -1,0 +1,84 @@
+// Package textplot renders small ASCII scatter/line plots of experiment
+// series, so the figures can be eyeballed in a terminal without gnuplot.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted dataset.
+type Series struct {
+	Label  string
+	Marker byte
+	X, Y   []float64
+}
+
+// Plot renders the given series into a width×height character grid with
+// simple linear axes and a legend.
+func Plot(title string, width, height int, series ...Series) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	var any bool
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			any = true
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if !any {
+		return title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = s.Marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, line := range grid {
+		label := "          "
+		if r == 0 {
+			label = fmt.Sprintf("%9.3g ", maxY)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%9.3g ", minY)
+		}
+		fmt.Fprintf(&b, "%s|%s|\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width+2))
+	fmt.Fprintf(&b, "%10s%-*.4g%*.4g\n", "", (width+2)/2, minX, (width+2)-(width+2)/2, maxX)
+	for _, s := range series {
+		fmt.Fprintf(&b, "%12c = %s\n", s.Marker, s.Label)
+	}
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlotBasic(t *testing.T) {
+	out := Plot("demo", 40, 10, Series{
+		Label: "line", Marker: '*',
+		X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3},
+	})
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "*") {
+		t.Fatalf("plot missing title or markers:\n%s", out)
+	}
+	if !strings.Contains(out, "line") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Fatalf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestPlotEmptyAndNaN(t *testing.T) {
+	out := Plot("empty", 40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot should say so:\n%s", out)
+	}
+	out = Plot("nan", 40, 10, Series{
+		Label: "nan", Marker: 'x',
+		X: []float64{math.NaN()}, Y: []float64{math.NaN()},
+	})
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("all-NaN plot should say no data:\n%s", out)
+	}
+}
+
+func TestPlotMultipleSeriesAndExtremes(t *testing.T) {
+	out := Plot("two", 50, 12,
+		Series{Label: "a", Marker: 'a', X: []float64{0, 10}, Y: []float64{5, 5}},
+		Series{Label: "b", Marker: 'b', X: []float64{0, 10}, Y: []float64{1, 9}},
+	)
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	// Constant series must not crash the scaler.
+	out = Plot("flat", 30, 6, Series{Label: "c", Marker: 'c', X: []float64{1, 1}, Y: []float64{2, 2}})
+	if !strings.Contains(out, "c") {
+		t.Fatalf("flat series not plotted:\n%s", out)
+	}
+	// Tiny dimensions are clamped.
+	out = Plot("tiny", 1, 1, Series{Label: "d", Marker: 'd', X: []float64{0, 1}, Y: []float64{0, 1}})
+	if len(out) == 0 {
+		t.Fatal("tiny plot empty")
+	}
+}

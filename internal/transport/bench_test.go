@@ -1,0 +1,40 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// BenchmarkTCPBulkTransfer measures simulator cost per simulated
+// megabyte of an uncontended TCP stream.
+func BenchmarkTCPBulkTransfer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, _, f := buildStar(int64(i), 2, netsim.SwitchConfig{PortBuffer: 1 << 20}, gigELink, FabricConfig{Kind: TCP})
+		f.Conn(0, 1).Send(Message{Size: 1 << 20})
+		s.Run()
+	}
+}
+
+// BenchmarkTCPIncast measures the congested case that dominates the
+// paper's experiments: 7 senders into one receiver with a small buffer.
+func BenchmarkTCPIncast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, _, f := buildStar(int64(i), 8, netsim.SwitchConfig{PortBuffer: 64 << 10}, gigELink, FabricConfig{Kind: TCP})
+		for src := 0; src < 7; src++ {
+			f.Conn(src, 7).Send(Message{Size: 256 << 10})
+		}
+		s.Run()
+	}
+}
+
+// BenchmarkGMBulkTransfer measures the lossless stack's cost.
+func BenchmarkGMBulkTransfer(b *testing.B) {
+	link := netsim.LinkConfig{Rate: 250_000_000, Latency: 4 * sim.Microsecond}
+	for i := 0; i < b.N; i++ {
+		s, _, f := buildStar(int64(i), 2, netsim.SwitchConfig{PortBuffer: 32 << 10, Lossless: true}, link, FabricConfig{Kind: GM})
+		f.Conn(0, 1).Send(Message{Size: 1 << 20})
+		s.Run()
+	}
+}

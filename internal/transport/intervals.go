@@ -1,0 +1,57 @@
+package transport
+
+// intervalSet tracks received out-of-order byte ranges [start, end) in a
+// sorted, non-overlapping slice. Sizes stay tiny in practice (a handful
+// of holes per loss episode), so linear merging is fine.
+type intervalSet struct {
+	iv []interval
+}
+
+type interval struct{ start, end int64 }
+
+// add inserts [start, end), merging overlapping and adjacent ranges.
+func (s *intervalSet) add(start, end int64) {
+	if start >= end {
+		return
+	}
+	out := s.iv[:0]
+	inserted := false
+	for _, cur := range s.iv {
+		switch {
+		case cur.end < start: // cur entirely before: keep
+			out = append(out, cur)
+		case end < cur.start: // cur entirely after
+			if !inserted {
+				out = append(out, interval{start, end})
+				inserted = true
+			}
+			out = append(out, cur)
+		default: // overlap or adjacency: absorb cur
+			if cur.start < start {
+				start = cur.start
+			}
+			if cur.end > end {
+				end = cur.end
+			}
+		}
+	}
+	if !inserted {
+		out = append(out, interval{start, end})
+	}
+	s.iv = out
+}
+
+// advance consumes ranges contiguous with pos and returns the new
+// in-order frontier.
+func (s *intervalSet) advance(pos int64) int64 {
+	for len(s.iv) > 0 && s.iv[0].start <= pos {
+		if s.iv[0].end > pos {
+			pos = s.iv[0].end
+		}
+		s.iv = s.iv[1:]
+	}
+	return pos
+}
+
+// empty reports whether no out-of-order data is buffered.
+func (s *intervalSet) empty() bool { return len(s.iv) == 0 }

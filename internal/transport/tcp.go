@@ -1,0 +1,502 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// msgBound records that a message ends at stream offset end.
+type msgBound struct {
+	end int64
+	msg Message
+}
+
+// tcpConn is one side of a duplex TCP-like connection. The sender half
+// transmits a byte stream (message sizes are concatenated); the receiver
+// half reassembles the peer's stream and fires the handler at message
+// boundaries. Loss recovery follows Reno with NewReno-style partial-ack
+// retransmission and go-back-N after a retransmission timeout.
+type tcpConn struct {
+	net    *netsim.Network
+	clk    *sim.Simulator
+	cfg    TCPConfig
+	nic    *netsim.Device // local host, for transmit-queue pacing
+	local  netsim.NodeID
+	peer   netsim.NodeID
+	txFlow uint64
+	mirror *tcpConn // the peer-side conn object
+	txWait bool     // a NotifyTxDrain callback is pending
+
+	handler Handler
+
+	// Sender half.
+	streamLen  int64 // bytes queued for transmission (ever)
+	sndUna     int64
+	sndNxt     int64
+	cwnd       int
+	ssthresh   int
+	dupacks    int
+	inRecovery bool
+	recoverSeq int64
+	retxScan   int64 // SACK recovery: next byte to consider retransmitting
+	// One-at-a-time RTT sampling (Karn's algorithm: never from
+	// retransmitted segments).
+	rttPending bool
+	rttSeq     int64
+	rttSentAt  sim.Time
+	srtt       sim.Time
+	rttvar     sim.Time
+	rto        sim.Time
+	backoff    uint
+	timerGen   uint64
+	timerOn    bool
+	stats      ConnStats
+
+	// Receiver half.
+	rcvNxt      int64
+	ooo         intervalSet
+	inMeta      []msgBound
+	unackedPkts int    // in-order packets since the last ACK
+	delackGen   uint64 // cancels stale delayed-ACK timers
+}
+
+// newTCPHalf creates one side of a duplex connection, owned by epA with
+// peer epB. The sender half transmits on flow (A,B) and hears ACKs for
+// it; the receiver half hears data on flow (B,A). Mirror halves must be
+// linked with linkMirror before use.
+func newTCPHalf(n *netsim.Network, epA, epB *Endpoint, cfg TCPConfig) *tcpConn {
+	c := &tcpConn{
+		net: n, clk: n.Sim(), cfg: cfg, nic: epA.host,
+		local: epA.id, peer: epB.id,
+		txFlow:   flowID(epA.id, epB.id),
+		cwnd:     cfg.InitCwnd,
+		ssthresh: cfg.RcvWindow,
+		rto:      cfg.RTOMin,
+	}
+	epA.acks[c.txFlow] = c
+	epA.data[flowID(epB.id, epA.id)] = c
+	return c
+}
+
+// linkMirror ties the two halves of a duplex connection together so the
+// sender can register message boundaries at the receiver.
+func linkMirror(a, b *tcpConn) {
+	a.mirror = b
+	b.mirror = a
+}
+
+// Send queues a message onto the byte stream toward the peer.
+func (c *tcpConn) Send(msg Message) {
+	if msg.Size <= 0 {
+		panic(fmt.Sprintf("transport: message size %d must be positive", msg.Size))
+	}
+	c.stats.MsgsSent++
+	c.stats.BytesSent += int64(msg.Size)
+	c.streamLen += int64(msg.Size)
+	// Register the boundary at the receiving side: delivery is gated on
+	// the receiver's in-order byte count, so this is causally safe.
+	c.mirror.inMeta = append(c.mirror.inMeta, msgBound{end: c.streamLen, msg: msg})
+	c.trySend()
+}
+
+// SetHandler installs the message delivery callback for this side.
+func (c *tcpConn) SetHandler(h Handler) { c.handler = h }
+
+// Stats returns the sender-half counters.
+func (c *tcpConn) Stats() ConnStats { return c.stats }
+
+// window is the sender's effective window in bytes. Limited transmit
+// (RFC 3042) lets the first two duplicate ACKs clock out one new segment
+// each, keeping the ACK stream alive for small windows — without it,
+// flows trimmed to a few segments by congestion can never gather three
+// duplicate ACKs and fall into 200 ms timeouts, which real stacks of the
+// paper's era (Linux 2.4 with SACK) did not do.
+func (c *tcpConn) window() int {
+	w := c.cwnd
+	if c.dupacks > 0 && !c.inRecovery {
+		lt := c.dupacks
+		if lt > 2 {
+			lt = 2
+		}
+		w += lt * c.cfg.MSS
+	}
+	if c.cfg.RcvWindow < w {
+		w = c.cfg.RcvWindow
+	}
+	if w < c.cfg.MSS {
+		w = c.cfg.MSS
+	}
+	return w
+}
+
+// trySend transmits new segments while the window allows and the host
+// NIC transmit queue has room (device-queue pacing).
+func (c *tcpConn) trySend() {
+	c.txWait = false
+	for c.sndNxt < c.streamLen {
+		inflight := int(c.sndNxt - c.sndUna)
+		room := c.window() - inflight
+		if room <= 0 {
+			return
+		}
+		if c.nic.TxBacklogBytes() >= c.cfg.TxQueueLimit {
+			if !c.txWait {
+				c.txWait = true
+				c.nic.NotifyTxDrain(c.trySend)
+			}
+			return
+		}
+		ln := c.cfg.MSS
+		if room < ln {
+			ln = room
+		}
+		if rem := c.streamLen - c.sndNxt; int64(ln) > rem {
+			ln = int(rem)
+		}
+		c.sendSegment(c.sndNxt, ln, false)
+		c.sndNxt += int64(ln)
+	}
+}
+
+// sendSegment injects one data segment. Retransmissions are flagged so
+// they are counted and excluded from RTT sampling.
+func (c *tcpConn) sendSegment(seq int64, ln int, retx bool) {
+	if retx {
+		c.stats.Retransmits++
+	} else if !c.rttPending {
+		c.rttPending = true
+		c.rttSeq = seq + int64(ln)
+		c.rttSentAt = c.clk.Now()
+	}
+	c.net.Inject(&netsim.Packet{
+		Src: c.local, Dst: c.peer, Flow: c.txFlow,
+		Seq: seq, Payload: ln, Size: ln + c.cfg.HeaderSize, Kind: pkData,
+	})
+	if !c.timerOn {
+		c.restartTimer()
+	}
+}
+
+// effectiveRTO applies exponential backoff with the configured cap.
+func (c *tcpConn) effectiveRTO() sim.Time {
+	r := c.rto
+	for i := uint(0); i < c.backoff; i++ {
+		r *= 2
+		if r >= c.cfg.RTOMax {
+			return c.cfg.RTOMax
+		}
+	}
+	if r > c.cfg.RTOMax {
+		r = c.cfg.RTOMax
+	}
+	return r
+}
+
+func (c *tcpConn) restartTimer() {
+	c.timerGen++
+	c.timerOn = true
+	gen := c.timerGen
+	c.clk.After(c.effectiveRTO(), func() {
+		if gen == c.timerGen && c.timerOn {
+			c.onTimeout()
+		}
+	})
+}
+
+func (c *tcpConn) stopTimer() {
+	c.timerGen++
+	c.timerOn = false
+}
+
+// onTimeout handles an RTO: collapse to one segment, go back to the first
+// unacknowledged byte, and retransmit with exponential backoff.
+func (c *tcpConn) onTimeout() {
+	if c.sndUna >= c.streamLen && c.sndNxt <= c.sndUna {
+		c.stopTimer()
+		return
+	}
+	c.stats.Timeouts++
+	flight := int(c.sndNxt - c.sndUna)
+	c.ssthresh = maxInt(flight/2, 2*c.cfg.MSS)
+	c.cwnd = c.cfg.MSS
+	c.inRecovery = false
+	c.dupacks = 0
+	c.rttPending = false // Karn: no sample across a timeout
+	c.backoff++
+	// Go-back-N: rewind and let the window re-cover the stream.
+	c.sndNxt = c.sndUna
+	ln := c.cfg.MSS
+	if rem := c.streamLen - c.sndNxt; int64(ln) > rem {
+		ln = int(rem)
+	}
+	c.sendSegment(c.sndNxt, ln, true)
+	c.sndNxt += int64(ln)
+	c.restartTimer()
+}
+
+// onAck processes a cumulative acknowledgment arriving at the sender.
+func (c *tcpConn) onAck(pkt *netsim.Packet) {
+	ack := pkt.Ack
+	if ack > c.sndNxt {
+		ack = c.sndNxt
+	}
+	if ack > c.sndUna {
+		c.newAck(ack)
+	} else if ack == c.sndUna && c.sndNxt > c.sndUna {
+		// Stale ACKs (ack < sndUna, possible with ACK-generation
+		// jitter) are not duplicate ACKs and must not trigger recovery.
+		c.dupAck()
+	}
+	c.trySend()
+}
+
+func (c *tcpConn) newAck(ack int64) {
+	if c.rttPending && ack >= c.rttSeq {
+		c.sampleRTT(c.clk.Now() - c.rttSentAt)
+		c.rttPending = false
+	}
+	c.backoff = 0
+	c.sndUna = ack
+	if c.inRecovery {
+		if ack >= c.recoverSeq {
+			// Full recovery: deflate to ssthresh and resume avoidance.
+			c.inRecovery = false
+			c.cwnd = c.ssthresh
+			c.dupacks = 0
+		} else {
+			// Partial ack: rescan from the new left edge and keep
+			// retransmitting known holes (SACK-style recovery).
+			c.retxScan = c.sndUna
+			c.pumpRecovery()
+		}
+	} else {
+		c.dupacks = 0
+		c.growCwnd()
+	}
+	if c.sndUna >= c.streamLen {
+		c.stopTimer()
+	} else {
+		c.restartTimer()
+	}
+}
+
+// dupAck handles a duplicate acknowledgment. The duplicate-ACK
+// threshold drops below three when fewer than four segments are in
+// flight (early retransmit, RFC 5827): small-window flows would
+// otherwise have to wait out a full RTO for every loss.
+func (c *tcpConn) dupAck() {
+	c.dupacks++
+	thresh := 3
+	if segs := int(c.sndNxt-c.sndUna+int64(c.cfg.MSS)-1) / c.cfg.MSS; segs <= 3 && c.sndNxt >= c.streamLen {
+		thresh = segs - 1
+		if thresh < 1 {
+			thresh = 1
+		}
+	}
+	if c.dupacks >= thresh && !c.inRecovery {
+		c.inRecovery = true
+		c.recoverSeq = c.sndNxt
+		c.retxScan = c.sndUna
+		flight := int(c.sndNxt - c.sndUna)
+		c.ssthresh = maxInt(flight/2, 2*c.cfg.MSS)
+		c.cwnd = c.ssthresh
+		c.stats.FastRetransmits++
+		c.pumpRecovery()
+		c.restartTimer()
+	} else if c.inRecovery {
+		// Each further dupack clocks out more hole retransmissions.
+		c.pumpRecovery()
+	}
+}
+
+// retransmitHead resends one MSS at the left edge of the window.
+func (c *tcpConn) retransmitHead() {
+	ln := c.cfg.MSS
+	if rem := c.streamLen - c.sndUna; int64(ln) > rem {
+		ln = int(rem)
+	}
+	if ln <= 0 {
+		return
+	}
+	c.sendSegment(c.sndUna, ln, true)
+}
+
+// holesAbove reports the first missing byte range at or after from in
+// this side's receive reassembly state, or ok=false if none is known.
+// Only ranges below the highest out-of-order byte count as holes: bytes
+// beyond it may simply not have been sent yet.
+func (c *tcpConn) holesAbove(from int64) (start, end int64, ok bool) {
+	if from < c.rcvNxt {
+		from = c.rcvNxt
+	}
+	prevEnd := c.rcvNxt
+	for _, iv := range c.ooo.iv {
+		if iv.start > prevEnd { // hole candidate [prevEnd, iv.start)
+			hs, he := prevEnd, iv.start
+			if from < he {
+				if from > hs {
+					hs = from
+				}
+				return hs, he, true
+			}
+		}
+		prevEnd = iv.end
+	}
+	return 0, 0, false
+}
+
+// pumpRecovery retransmits known-missing segments during loss recovery,
+// pacing itself by the incoming ACK clock (at most two segments per
+// call). The sender reads the peer's exact reassembly holes — the
+// simulator's stand-in for the SACK blocks that the paper-era Linux
+// stacks carried on every ACK. Without selective retransmission, flows
+// trimmed to small windows by congestion lose multiple segments per
+// window and collapse into serial 200 ms timeouts, which is not how the
+// measured systems behaved.
+func (c *tcpConn) pumpRecovery() {
+	if !c.inRecovery {
+		return
+	}
+	budget := 2
+	for budget > 0 {
+		from := c.retxScan
+		if c.sndUna > from {
+			from = c.sndUna
+		}
+		start, end, ok := c.mirror.holesAbove(from)
+		if !ok {
+			// No known holes: fall back to the cumulative edge once.
+			if c.retxScan <= c.sndUna {
+				c.retransmitHead()
+				c.retxScan = c.sndUna + int64(c.cfg.MSS)
+			}
+			return
+		}
+		ln := c.cfg.MSS
+		if int64(ln) > end-start {
+			ln = int(end - start)
+		}
+		c.sendSegment(start, ln, true)
+		c.retxScan = start + int64(ln)
+		budget--
+	}
+}
+
+func (c *tcpConn) growCwnd() {
+	if c.cwnd < c.ssthresh {
+		c.cwnd += c.cfg.MSS // slow start
+	} else {
+		inc := c.cfg.MSS * c.cfg.MSS / c.cwnd // congestion avoidance
+		if inc < 1 {
+			inc = 1
+		}
+		c.cwnd += inc
+	}
+	if c.cwnd > c.cfg.RcvWindow {
+		c.cwnd = c.cfg.RcvWindow
+	}
+}
+
+// sampleRTT updates srtt/rttvar/rto per RFC 6298.
+func (c *tcpConn) sampleRTT(r sim.Time) {
+	if c.srtt == 0 {
+		c.srtt = r
+		c.rttvar = r / 2
+	} else {
+		d := c.srtt - r
+		if d < 0 {
+			d = -d
+		}
+		c.rttvar = (3*c.rttvar + d) / 4
+		c.srtt = (7*c.srtt + r) / 8
+	}
+	c.rto = c.srtt + 4*c.rttvar
+	if c.rto < c.cfg.RTOMin {
+		c.rto = c.cfg.RTOMin
+	}
+	if c.rto > c.cfg.RTOMax {
+		c.rto = c.cfg.RTOMax
+	}
+}
+
+// onData processes an arriving data segment at the receiver half.
+// In-order segments are acknowledged with the delayed-ACK policy (every
+// second packet, or after the delayed-ACK timeout); anything anomalous —
+// duplicates, holes — is acknowledged immediately so the sender's loss
+// detection keeps working.
+func (c *tcpConn) onData(pkt *netsim.Packet) {
+	seq, end := pkt.Seq, pkt.Seq+int64(pkt.Payload)
+	switch {
+	case end <= c.rcvNxt:
+		// Entire segment is a duplicate.
+		c.sendAck()
+	case seq <= c.rcvNxt:
+		if end > c.rcvNxt {
+			c.rcvNxt = end
+		}
+		c.rcvNxt = c.ooo.advance(c.rcvNxt)
+		c.deliver()
+		if !c.ooo.empty() {
+			// Filling part of a hole: ack immediately.
+			c.sendAck()
+			return
+		}
+		c.unackedPkts++
+		if c.unackedPkts >= 2 {
+			c.sendAck()
+			return
+		}
+		// First unacked packet: arm the delayed-ACK timer.
+		gen := c.delackGen
+		c.clk.After(c.cfg.DelAckTimeout, func() {
+			if gen == c.delackGen && c.unackedPkts > 0 {
+				c.sendAck()
+			}
+		})
+	default:
+		c.ooo.add(seq, end) // hole: buffer and dup-ack immediately
+		c.sendAck()
+	}
+}
+
+// sendAck emits a cumulative ACK back to the peer's sender half, with a
+// small random generation delay modeling NIC interrupt coalescing and
+// host scheduling noise. Besides realism, the jitter desynchronizes the
+// AIMD cycles of concurrent flows, as real hosts' noise does.
+func (c *tcpConn) sendAck() {
+	c.unackedPkts = 0
+	c.delackGen++
+	jitter := sim.Time(0)
+	if c.cfg.AckJitter > 0 {
+		jitter = sim.Time(c.clk.Rand().Int63n(int64(c.cfg.AckJitter) + 1))
+	}
+	ackNo := c.rcvNxt
+	c.clk.After(jitter, func() {
+		c.net.Inject(&netsim.Packet{
+			Src: c.local, Dst: c.peer,
+			Flow: flowID(c.peer, c.local), // the peer's tx flow
+			Ack:  ackNo, Size: c.cfg.AckSize, Kind: pkAck, Prio: true,
+		})
+	})
+}
+
+// deliver fires the handler for every message whose last byte is now in
+// order.
+func (c *tcpConn) deliver() {
+	for len(c.inMeta) > 0 && c.inMeta[0].end <= c.rcvNxt {
+		m := c.inMeta[0]
+		c.inMeta = c.inMeta[1:]
+		if c.handler != nil {
+			c.handler(m.msg)
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

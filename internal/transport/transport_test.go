@@ -1,0 +1,297 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// gigELink is a 1 Gbit/s link (125 MB/s) with 20 µs latency.
+var gigELink = netsim.LinkConfig{Rate: 125_000_000, Latency: 20 * sim.Microsecond}
+
+// buildStar creates a star network of n hosts around one switch and a
+// fabric of the given kind on top.
+func buildStar(seed int64, n int, swCfg netsim.SwitchConfig, link netsim.LinkConfig, fcfg FabricConfig) (*sim.Simulator, *netsim.Network, *Fabric) {
+	s := sim.New(seed)
+	nw := netsim.New(s)
+	sw := nw.AddSwitch("sw", swCfg)
+	hosts := make([]*netsim.Device, n)
+	for i := 0; i < n; i++ {
+		hosts[i] = nw.AddHost("h")
+		nw.Connect(hosts[i], sw, link)
+	}
+	nw.ComputeRoutes()
+	return s, nw, NewFabric(nw, hosts, fcfg)
+}
+
+func TestTCPSingleMessageDelivery(t *testing.T) {
+	s, _, f := buildStar(1, 2, netsim.SwitchConfig{PortBuffer: 1 << 20}, gigELink, FabricConfig{Kind: TCP})
+	var got []Message
+	var when sim.Time
+	f.Conn(1, 0).SetHandler(func(m Message) { got = append(got, m); when = s.Now() })
+	f.Conn(0, 1).Send(Message{Kind: 7, Tag: 42, MsgSeq: 5, Size: 10000})
+	s.Run()
+	if len(got) != 1 {
+		t.Fatalf("delivered %d messages, want 1", len(got))
+	}
+	m := got[0]
+	if m.Kind != 7 || m.Tag != 42 || m.MsgSeq != 5 || m.Size != 10000 {
+		t.Fatalf("metadata corrupted: %+v", m)
+	}
+	// 10 kB over 1 Gb/s two hops: lower bound ≈ 2×(80µs + 20µs); with
+	// slow-start round trips it should still be well under 5 ms.
+	if when > 5*sim.Millisecond || when == 0 {
+		t.Fatalf("delivery at %v, want (0, 5ms]", when)
+	}
+}
+
+func TestTCPOrderingManyMessages(t *testing.T) {
+	s, _, f := buildStar(2, 2, netsim.SwitchConfig{PortBuffer: 1 << 20}, gigELink, FabricConfig{Kind: TCP})
+	var seqs []int64
+	f.Conn(1, 0).SetHandler(func(m Message) { seqs = append(seqs, m.MsgSeq) })
+	for i := 0; i < 50; i++ {
+		f.Conn(0, 1).Send(Message{MsgSeq: int64(i), Size: 1000 + 37*i})
+	}
+	s.Run()
+	if len(seqs) != 50 {
+		t.Fatalf("delivered %d, want 50", len(seqs))
+	}
+	for i, q := range seqs {
+		if q != int64(i) {
+			t.Fatalf("out of order at %d: %v", i, seqs[:i+1])
+		}
+	}
+}
+
+func TestTCPDuplexSimultaneous(t *testing.T) {
+	s, _, f := buildStar(3, 2, netsim.SwitchConfig{PortBuffer: 1 << 20}, gigELink, FabricConfig{Kind: TCP})
+	var at0, at1 int
+	f.Conn(0, 1).SetHandler(func(m Message) { at0++ })
+	f.Conn(1, 0).SetHandler(func(m Message) { at1++ })
+	for i := 0; i < 10; i++ {
+		f.Conn(0, 1).Send(Message{Size: 50000})
+		f.Conn(1, 0).Send(Message{Size: 50000})
+	}
+	s.Run()
+	if at0 != 10 || at1 != 10 {
+		t.Fatalf("duplex delivery: got %d/%d, want 10/10", at0, at1)
+	}
+}
+
+func TestTCPRecoversFromLoss(t *testing.T) {
+	// Tiny switch buffer + three senders flooding one receiver: drops
+	// are inevitable; every message must still arrive, in order.
+	swCfg := netsim.SwitchConfig{PortBuffer: 8 << 10}
+	s, nw, f := buildStar(4, 4, swCfg, gigELink, FabricConfig{Kind: TCP})
+	const msgs, size = 20, 100_000
+	got := map[int]int64{}
+	order := map[int][]int64{}
+	for src := 0; src < 3; src++ {
+		src := src
+		f.Conn(3, src).SetHandler(func(m Message) {
+			got[src]++
+			order[src] = append(order[src], m.MsgSeq)
+		})
+	}
+	for i := 0; i < msgs; i++ {
+		for src := 0; src < 3; src++ {
+			f.Conn(src, 3).Send(Message{MsgSeq: int64(i), Size: size})
+		}
+	}
+	s.Run()
+	if nw.Drops() == 0 {
+		t.Fatal("test needs drops to be meaningful; none occurred")
+	}
+	for src := 0; src < 3; src++ {
+		if got[src] != msgs {
+			t.Fatalf("src %d: delivered %d, want %d (drops=%d)", src, got[src], msgs, nw.Drops())
+		}
+		for i, q := range order[src] {
+			if q != int64(i) {
+				t.Fatalf("src %d out of order at %d: %v", src, i, order[src][:i+1])
+			}
+		}
+	}
+	st := f.TotalStats()
+	if st.Retransmits == 0 {
+		t.Fatal("expected retransmissions after drops")
+	}
+}
+
+func TestTCPLossSlowsCompletion(t *testing.T) {
+	run := func(buf int) sim.Time {
+		s, _, f := buildStar(5, 4, netsim.SwitchConfig{PortBuffer: buf}, gigELink, FabricConfig{Kind: TCP})
+		var last sim.Time
+		var n int
+		for src := 0; src < 3; src++ {
+			f.Conn(3, src).SetHandler(func(m Message) { n++; last = s.Now() })
+		}
+		for src := 0; src < 3; src++ {
+			f.Conn(src, 3).Send(Message{Size: 2_000_000})
+		}
+		s.Run()
+		if n != 3 {
+			t.Fatalf("delivered %d, want 3", n)
+		}
+		return last
+	}
+	big, small := run(4<<20), run(8<<10)
+	if small <= big {
+		t.Fatalf("loss should slow completion: small-buffer %v <= big-buffer %v", small, big)
+	}
+}
+
+func TestTCPRTOFiresUnderSevereLoss(t *testing.T) {
+	// Many-to-one incast with a minuscule buffer reliably triggers
+	// whole-window losses and hence RTOs, the paper's straggler source.
+	swCfg := netsim.SwitchConfig{PortBuffer: 4 << 10}
+	s, _, f := buildStar(6, 9, swCfg, gigELink, FabricConfig{Kind: TCP})
+	done := 0
+	for src := 0; src < 8; src++ {
+		f.Conn(8, src).SetHandler(func(m Message) { done++ })
+	}
+	for src := 0; src < 8; src++ {
+		f.Conn(src, 8).Send(Message{Size: 500_000})
+	}
+	s.Run()
+	if done != 8 {
+		t.Fatalf("delivered %d, want 8", done)
+	}
+	if f.TotalStats().Timeouts == 0 {
+		t.Fatal("expected at least one RTO under severe incast")
+	}
+}
+
+func TestGMDeliveryAndOrdering(t *testing.T) {
+	swCfg := netsim.SwitchConfig{PortBuffer: 64 << 10, Lossless: true}
+	link := netsim.LinkConfig{Rate: 250_000_000, Latency: 7 * sim.Microsecond}
+	s, nw, f := buildStar(7, 3, swCfg, link, FabricConfig{Kind: GM})
+	var seqs []int64
+	f.Conn(1, 0).SetHandler(func(m Message) { seqs = append(seqs, m.MsgSeq) })
+	var fromTwo int
+	f.Conn(1, 2).SetHandler(func(m Message) { fromTwo++ })
+	for i := 0; i < 30; i++ {
+		f.Conn(0, 1).Send(Message{MsgSeq: int64(i), Size: 10_000})
+		f.Conn(2, 1).Send(Message{MsgSeq: int64(i), Size: 10_000})
+	}
+	s.Run()
+	if nw.Drops() != 0 {
+		t.Fatalf("GM network dropped %d packets", nw.Drops())
+	}
+	if len(seqs) != 30 || fromTwo != 30 {
+		t.Fatalf("delivered %d/%d, want 30/30", len(seqs), fromTwo)
+	}
+	for i, q := range seqs {
+		if q != int64(i) {
+			t.Fatalf("out of order at %d: %v", i, seqs[:i+1])
+		}
+	}
+	if f.TotalStats().Retransmits != 0 {
+		t.Fatal("GM must not retransmit")
+	}
+}
+
+func TestGMThroughputNearLineRate(t *testing.T) {
+	swCfg := netsim.SwitchConfig{PortBuffer: 64 << 10, Lossless: true}
+	link := netsim.LinkConfig{Rate: 250_000_000, Latency: 7 * sim.Microsecond}
+	s, _, f := buildStar(8, 2, swCfg, link, FabricConfig{Kind: GM})
+	var done sim.Time
+	f.Conn(1, 0).SetHandler(func(m Message) { done = s.Now() })
+	const size = 10 << 20
+	f.Conn(0, 1).Send(Message{Size: size})
+	s.Run()
+	ideal := sim.TransmitTime(size, 250_000_000)
+	if done < ideal {
+		t.Fatalf("faster than line rate: %v < %v", done, ideal)
+	}
+	if done > ideal*12/10 {
+		t.Fatalf("GM throughput too far from line rate: %v vs ideal %v", done, ideal)
+	}
+}
+
+func TestTCPThroughputNearLineRateWhenUncontended(t *testing.T) {
+	s, _, f := buildStar(9, 2, netsim.SwitchConfig{PortBuffer: 1 << 20}, gigELink, FabricConfig{Kind: TCP})
+	var done sim.Time
+	f.Conn(1, 0).SetHandler(func(m Message) { done = s.Now() })
+	const size = 10 << 20
+	f.Conn(0, 1).Send(Message{Size: size})
+	s.Run()
+	ideal := sim.TransmitTime(size, 125_000_000)
+	if done < ideal {
+		t.Fatalf("faster than line rate: %v < %v", done, ideal)
+	}
+	// Header overhead + slow start should cost well under 30 %.
+	if done > ideal*13/10 {
+		t.Fatalf("uncontended TCP too slow: %v vs ideal %v", done, ideal)
+	}
+}
+
+func TestTCPDeterminism(t *testing.T) {
+	run := func() (sim.Time, int64) {
+		s, _, f := buildStar(42, 4, netsim.SwitchConfig{PortBuffer: 16 << 10}, gigELink, FabricConfig{Kind: TCP})
+		var last sim.Time
+		cnt := 0
+		for src := 0; src < 3; src++ {
+			f.Conn(3, src).SetHandler(func(m Message) { cnt++; last = s.Now() })
+		}
+		for i := 0; i < 5; i++ {
+			for src := 0; src < 3; src++ {
+				f.Conn(src, 3).Send(Message{Size: 200_000})
+			}
+		}
+		s.Run()
+		return last, f.TotalStats().Retransmits
+	}
+	t1, r1 := run()
+	t2, r2 := run()
+	if t1 != t2 || r1 != r2 {
+		t.Fatalf("nondeterministic: (%v,%d) vs (%v,%d)", t1, r1, t2, r2)
+	}
+}
+
+func TestSendPanicsOnNonPositiveSize(t *testing.T) {
+	_, _, f := buildStar(10, 2, netsim.SwitchConfig{PortBuffer: 1 << 20}, gigELink, FabricConfig{Kind: TCP})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for size 0")
+		}
+	}()
+	f.Conn(0, 1).Send(Message{Size: 0})
+}
+
+func TestIntervalSet(t *testing.T) {
+	var s intervalSet
+	s.add(10, 20)
+	s.add(30, 40)
+	s.add(20, 30) // bridges the two
+	if len(s.iv) != 1 || s.iv[0] != (interval{10, 40}) {
+		t.Fatalf("merge failed: %+v", s.iv)
+	}
+	if got := s.advance(5); got != 5 || s.empty() {
+		t.Fatalf("advance(5) = %d (empty=%v), want 5 with data left", got, s.empty())
+	}
+	if got := s.advance(10); got != 40 || !s.empty() {
+		t.Fatalf("advance(10) = %d (empty=%v), want 40 and empty", got, s.empty())
+	}
+	// Overlapping adds collapse.
+	s.add(100, 110)
+	s.add(105, 120)
+	s.add(95, 101)
+	if len(s.iv) != 1 || s.iv[0] != (interval{95, 120}) {
+		t.Fatalf("overlap merge failed: %+v", s.iv)
+	}
+	// Disjoint stays disjoint and ordered.
+	s = intervalSet{}
+	s.add(50, 60)
+	s.add(10, 20)
+	s.add(30, 40)
+	if len(s.iv) != 3 || s.iv[0].start != 10 || s.iv[1].start != 30 || s.iv[2].start != 50 {
+		t.Fatalf("ordering failed: %+v", s.iv)
+	}
+	// Zero-length add is a no-op.
+	s.add(70, 70)
+	if len(s.iv) != 3 {
+		t.Fatalf("zero-length add changed set: %+v", s.iv)
+	}
+}
