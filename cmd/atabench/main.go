@@ -1,6 +1,6 @@
 // Command atabench runs the paper-reproduction experiments (one per
-// figure, plus the signature table and the ablations) and prints their
-// data series.
+// figure, plus the signature table, the ablations, and the grid
+// prediction-vs-simulation experiment GR1) and prints their data series.
 //
 // Usage:
 //

@@ -1,81 +1,75 @@
 // gridplanner shows the downstream use case the paper motivates
 // (application performance prediction frameworks, grid-aware collective
-// optimization à la LaPIe/MagPIe): given the contention signatures of
-// several candidate clusters, pick the cheapest configuration meeting a
-// deadline for an All-to-All-dominated workload — without running it.
+// optimization à la LaPIe/MagPIe), extended to multi-cluster grids:
+// given candidate grid deployments, characterize each once — per-cluster
+// contention signatures plus the WAN term — then, for an
+// All-to-All-dominated workload, let the planner pick the best exchange
+// strategy per deployment and choose the cheapest deployment meeting a
+// deadline, all without running the workload.
 package main
 
 import (
 	"fmt"
 
-	"repro/internal/calib"
 	"repro/internal/cluster"
-	"repro/internal/coll"
-	"repro/internal/model"
-	"repro/internal/mpi"
-	"repro/internal/signature"
+	"repro/internal/grid"
 )
 
-// candidate is a cluster we could rent, with a per-node-hour cost.
+// candidate is a grid we could rent, with a per-node-hour cost.
 type candidate struct {
-	profile     cluster.Profile
+	name        string
 	nodeCostEUR float64
-	sig         model.Signature
 }
 
 func main() {
-	// Workload: an iterative solver doing 200 All-to-All exchanges of
-	// 512 kB per pair per iteration; deadline 60 s of communication.
+	// Workload: an iterative solver doing 30 All-to-All exchanges of
+	// 48 kB per pair per iteration; deadline 30 s of communication.
 	const (
-		exchanges = 200
-		msgSize   = 512 << 10
-		deadline  = 60.0
+		exchanges = 30
+		msgSize   = 48 << 10
+		deadline  = 30.0
 	)
 
 	cands := []candidate{
-		{profile: cluster.FastEthernet(), nodeCostEUR: 0.05},
-		{profile: cluster.GigabitEthernet(), nodeCostEUR: 0.12},
-		{profile: cluster.Myrinet(), nodeCostEUR: 0.25},
+		{name: "fe2-wan20", nodeCostEUR: 0.05},
+		{name: "ge3-wan50", nodeCostEUR: 0.12},
+		{name: "mixed-wan30", nodeCostEUR: 0.08},
 	}
 
-	// Characterize each network ONCE at a modest sample size; the
-	// signature then predicts any deployment size.
-	const fitN = 12
-	for i := range cands {
-		p := cands[i].profile
-		h := calib.PingPong(p, mpi.Config{}, 1, calib.PingPongConfig{Reps: 3})
-		var samples []signature.Sample
-		for _, m := range []int{16 << 10, 64 << 10, 256 << 10, 512 << 10, 1 << 20} {
-			cl := cluster.Build(p, fitN, int64(m))
-			w := mpi.NewWorld(cl, mpi.Config{})
-			meas := coll.Measure(w, 1, 1, func(r *mpi.Rank) { coll.Alltoall(r, m, coll.PostAll) })
-			samples = append(samples, signature.Sample{M: m, T: meas.Mean()})
-		}
-		sig, _, err := signature.Fit(h, fitN, samples, signature.Options{})
+	fmt.Printf("workload: %d exchanges of %d B per pair, deadline %.0fs\n\n", exchanges, msgSize, deadline)
+	fmt.Printf("%-12s %6s %12s %13s %10s %9s\n",
+		"grid", "nodes", "best_strat", "comm_time_s", "meets_dl", "cost_EUR/h")
+
+	bestCost, bestDesc := -1.0, ""
+	for _, c := range cands {
+		gp, err := cluster.GridByName(c.name)
 		if err != nil {
 			panic(err)
 		}
-		cands[i].sig = sig
-		fmt.Printf("characterized %-18s %s\n", p.Name, sig)
-	}
-
-	fmt.Printf("\nworkload: %d exchanges of %d B per pair, deadline %.0fs\n\n", exchanges, msgSize, deadline)
-	fmt.Printf("%-18s %6s %12s %12s %10s\n", "cluster", "nodes", "comm_time_s", "meets_dl", "cost_EUR/h")
-	bestCost, bestDesc := -1.0, ""
-	for _, c := range cands {
-		for _, n := range []int{8, 16, 24, 32, 48} {
-			t := float64(exchanges) * c.sig.Predict(n, msgSize)
-			meets := t <= deadline
-			cost := float64(n) * c.nodeCostEUR
-			fmt.Printf("%-18s %6d %12.1f %12v %10.2f\n", c.profile.Name, n, t, meets, cost)
-			if meets && (bestCost < 0 || cost < bestCost) {
-				bestCost = cost
-				bestDesc = fmt.Sprintf("%s with %d nodes", c.profile.Name, n)
-			}
+		// Characterize each member network and the WAN once; the model
+		// then predicts any message size on this grid.
+		pl, err := grid.NewPlanner(gp, grid.Options{FitN: 6, Reps: 1})
+		if err != nil {
+			panic(err)
+		}
+		preds := pl.Predict(msgSize) // sorted fastest first
+		best := preds[0]
+		t := float64(exchanges) * best.T
+		meets := t <= deadline
+		nodes := gp.TotalNodes()
+		cost := float64(nodes) * c.nodeCostEUR
+		fmt.Printf("%-12s %6d %12s %13.1f %10v %9.2f\n",
+			c.name, nodes, best.Strategy, t, meets, cost)
+		for _, pr := range preds {
+			fmt.Printf("%-12s        · %-12s %10.1f\n", "", pr.Strategy, float64(exchanges)*pr.T)
+		}
+		if meets && (bestCost < 0 || cost < bestCost) {
+			bestCost = cost
+			bestDesc = fmt.Sprintf("%s via %s", c.name, best.Strategy)
 		}
 	}
 	if bestCost >= 0 {
-		fmt.Printf("\ncheapest configuration meeting the deadline: %s (%.2f EUR/h)\n", bestDesc, bestCost)
+		fmt.Printf("\ncheapest deployment meeting the deadline: %s (%.2f EUR/h)\n", bestDesc, bestCost)
 	} else {
 		fmt.Println("\nno candidate meets the deadline")
 	}

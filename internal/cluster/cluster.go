@@ -156,10 +156,23 @@ func Build(p Profile, nodes int, seed int64) *Cluster {
 	for i := 0; i < nodes; i++ {
 		hosts[i] = nw.AddHost(fmt.Sprintf("%s-n%d", p.Name, i))
 	}
+	buildLAN(nw, p, hosts, "")
+	nw.ComputeRoutes()
+	applyRxCost(p, hosts, nodes)
+	fab := transport.NewFabric(nw, hosts, transport.FabricConfig{Kind: p.Kind, TCP: p.TCP, GM: p.GM})
+	return &Cluster{Profile: p, Sim: s, Net: nw, Hosts: hosts, Fabric: fab}
+}
 
+// buildLAN wires hosts into p's intra-cluster switch topology (flat edge
+// switch, or leaves under a core) and returns the attachment point for a
+// border router: the core switch when the profile is hierarchical, the
+// single edge switch otherwise. Device names are prefixed so several
+// LANs can share one network.
+func buildLAN(nw *netsim.Network, p Profile, hosts []*netsim.Device, prefix string) *netsim.Device {
 	edgeCfg := netsim.SwitchConfig{PortBuffer: p.PortBuffer, Lossless: p.Lossless}
 	link := netsim.LinkConfig{Rate: p.LinkRate, Latency: p.LinkLatency}
 
+	nodes := len(hosts)
 	leaves := p.Leaves
 	if p.NodesPerLeaf > 0 {
 		if need := (nodes + p.NodesPerLeaf - 1) / p.NodesPerLeaf; need > leaves {
@@ -168,31 +181,32 @@ func Build(p Profile, nodes int, seed int64) *Cluster {
 	}
 	if leaves > 1 {
 		coreCfg := netsim.SwitchConfig{PortBuffer: p.CorePortBuffer, Lossless: p.Lossless}
-		core := nw.AddSwitch("core", coreCfg)
+		core := nw.AddSwitch(prefix+"core", coreCfg)
 		uplink := netsim.LinkConfig{Rate: p.UplinkRate, Latency: p.UplinkLatency}
 		leafSw := make([]*netsim.Device, leaves)
 		for l := 0; l < leaves; l++ {
-			leafSw[l] = nw.AddSwitch(fmt.Sprintf("leaf%d", l), edgeCfg)
+			leafSw[l] = nw.AddSwitch(fmt.Sprintf("%sleaf%d", prefix, l), edgeCfg)
 			nw.Connect(leafSw[l], core, uplink)
 		}
 		for i, h := range hosts {
 			nw.Connect(h, leafSw[i%leaves], link)
 		}
-	} else {
-		sw := nw.AddSwitch("sw", edgeCfg)
-		for _, h := range hosts {
-			nw.Connect(h, sw, link)
-		}
+		return core
 	}
-	nw.ComputeRoutes()
+	sw := nw.AddSwitch(prefix+"sw", edgeCfg)
+	for _, h := range hosts {
+		nw.Connect(h, sw, link)
+	}
+	return sw
+}
 
+// applyRxCost installs the per-packet receive processing cost on each
+// host, scaled by the number of open connections (conns−1 peers).
+func applyRxCost(p Profile, hosts []*netsim.Device, conns int) {
 	if p.RxCostBase > 0 || p.RxCostPerConn > 0 {
-		cost := p.RxCostBase + sim.Time(nodes-1)*p.RxCostPerConn
+		cost := p.RxCostBase + sim.Time(conns-1)*p.RxCostPerConn
 		for _, h := range hosts {
 			h.SetRxCost(cost)
 		}
 	}
-
-	fab := transport.NewFabric(nw, hosts, transport.FabricConfig{Kind: p.Kind, TCP: p.TCP, GM: p.GM})
-	return &Cluster{Profile: p, Sim: s, Net: nw, Hosts: hosts, Fabric: fab}
 }

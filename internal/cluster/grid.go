@@ -1,0 +1,232 @@
+// Grid environments: several cluster Profiles composed into one
+// simulated multi-cluster platform, joined by wide-area links through
+// per-cluster border routers. This is the paper's natural
+// production-scale extension: All-to-All across a grid, where every
+// inter-cluster block crosses a shared, high-latency WAN uplink and flat
+// Direct Exchange collapses.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// GridMember is one cluster of a grid: a profile plus its node count.
+type GridMember struct {
+	Profile Profile
+	Nodes   int
+}
+
+// WANConfig describes the wide-area interconnect between the border
+// routers of a grid.
+type WANConfig struct {
+	Rate    int64    // bytes/s per WAN link direction
+	Latency sim.Time // one-way propagation per WAN link
+
+	// PortBuffer is the router WAN egress buffer (tail-drop). Shallow
+	// buffers relative to the bandwidth-delay product are what make the
+	// uplink the grid's contention point.
+	PortBuffer int
+
+	// ProcDelay is the per-packet router forwarding delay.
+	ProcDelay sim.Time
+
+	// Mesh selects full-mesh router-to-router WAN links; false builds a
+	// star through one backbone router (each inter-cluster path then
+	// crosses two WAN links).
+	Mesh bool
+}
+
+// DefaultWAN returns a 100 Mbit/s WAN with the given one-way latency,
+// shallow router buffers and full-mesh peering.
+func DefaultWAN(latency sim.Time) WANConfig {
+	return WANConfig{
+		Rate:       12_500_000, // 100 Mbit/s
+		Latency:    latency,
+		PortBuffer: 256 << 10,
+		ProcDelay:  50 * sim.Microsecond,
+		Mesh:       true,
+	}
+}
+
+// GridProfile names a buildable multi-cluster environment. All member
+// profiles must share one transport kind; the first member's transport
+// tuning is used fabric-wide.
+type GridProfile struct {
+	Name    string
+	Members []GridMember
+	WAN     WANConfig
+}
+
+// TotalNodes sums the member node counts.
+func (gp GridProfile) TotalNodes() int {
+	total := 0
+	for _, m := range gp.Members {
+		total += m.Nodes
+	}
+	return total
+}
+
+// Uniform builds a symmetric GridProfile: clusters copies of p with
+// nodesPer nodes each.
+func Uniform(name string, p Profile, clusters, nodesPer int, wan WANConfig) GridProfile {
+	gp := GridProfile{Name: name, WAN: wan}
+	for c := 0; c < clusters; c++ {
+		gp.Members = append(gp.Members, GridMember{Profile: p, Nodes: nodesPer})
+	}
+	return gp
+}
+
+// wanTuned widens a profile's TCP receive window for long-fat WAN pipes
+// (the real-world "window scaling" tuning a grid deployment would apply).
+func wanTuned(p Profile) Profile {
+	p.TCP.RcvWindow = 256 << 10
+	return p
+}
+
+// GridProfiles returns canonical grid environments keyed by name:
+// the paper's platforms composed over 10–100 ms WANs.
+func GridProfiles() map[string]GridProfile {
+	fe := wanTuned(FastEthernet())
+	ge := wanTuned(GigabitEthernet())
+	out := map[string]GridProfile{}
+	for _, gp := range []GridProfile{
+		Uniform("fe2-wan20", fe, 2, 8, DefaultWAN(20*sim.Millisecond)),
+		Uniform("ge3-wan50", ge, 3, 8, func() WANConfig {
+			w := DefaultWAN(50 * sim.Millisecond)
+			w.Rate = 125_000_000 // 1 Gbit/s backbone
+			w.Mesh = false
+			return w
+		}()),
+		{
+			Name: "mixed-wan30",
+			Members: []GridMember{
+				{Profile: fe, Nodes: 10},
+				{Profile: ge, Nodes: 6},
+			},
+			WAN: DefaultWAN(30 * sim.Millisecond),
+		},
+	} {
+		out[gp.Name] = gp
+	}
+	return out
+}
+
+// GridByName returns the named canonical grid profile.
+func GridByName(name string) (GridProfile, error) {
+	gp, ok := GridProfiles()[name]
+	if !ok {
+		return GridProfile{}, fmt.Errorf("cluster: unknown grid profile %q", name)
+	}
+	return gp, nil
+}
+
+// Grid is a built multi-cluster environment. Env carries the shared
+// simulator, network and full-mesh transport fabric over every host of
+// every member, so mpi.NewWorld works on a grid exactly as on a single
+// cluster.
+type Grid struct {
+	Profile   GridProfile
+	Env       *Cluster
+	ClusterOf []int   // host/rank id → member index
+	Members   [][]int // member index → host/rank ids (contiguous)
+	Routers   []*netsim.Device
+}
+
+// BuildGrid instantiates a grid profile. Host NodeIDs (and therefore MPI
+// ranks) are assigned contiguously cluster by cluster.
+func BuildGrid(gp GridProfile, seed int64) (*Grid, error) {
+	if len(gp.Members) == 0 {
+		return nil, fmt.Errorf("cluster: grid %q has no members", gp.Name)
+	}
+	kind := gp.Members[0].Profile.Kind
+	if kind != transport.TCP {
+		// WAN ports are tail-drop; a transport without retransmission
+		// (GM relies on a lossless fabric) would hang on the first
+		// dropped segment.
+		return nil, fmt.Errorf("cluster: grid %q needs a retransmitting transport, got %v", gp.Name, kind)
+	}
+	for _, m := range gp.Members {
+		if m.Nodes < 1 {
+			return nil, fmt.Errorf("cluster: grid %q member %q has %d nodes", gp.Name, m.Profile.Name, m.Nodes)
+		}
+		if m.Profile.Kind != kind {
+			return nil, fmt.Errorf("cluster: grid %q mixes transport kinds %v and %v",
+				gp.Name, kind, m.Profile.Kind)
+		}
+	}
+
+	s := sim.New(seed)
+	nw := netsim.New(s)
+	g := &Grid{Profile: gp}
+
+	// Hosts first, cluster by cluster, so NodeIDs are dense and grouped.
+	perCluster := make([][]*netsim.Device, len(gp.Members))
+	var hosts []*netsim.Device
+	for c, m := range gp.Members {
+		ids := make([]int, m.Nodes)
+		perCluster[c] = make([]*netsim.Device, m.Nodes)
+		for i := 0; i < m.Nodes; i++ {
+			h := nw.AddHost(fmt.Sprintf("c%d.%s-n%d", c, m.Profile.Name, i))
+			perCluster[c][i] = h
+			ids[i] = len(hosts)
+			hosts = append(hosts, h)
+			g.ClusterOf = append(g.ClusterOf, c)
+		}
+		g.Members = append(g.Members, ids)
+	}
+
+	// Intra-cluster fabrics plus one border router per cluster.
+	routerLAN := netsim.PortConfig{Buffer: 1 << 20}
+	for c, m := range gp.Members {
+		p := m.Profile
+		attach := buildLAN(nw, p, perCluster[c], fmt.Sprintf("c%d.", c))
+		gw := nw.AddRouter(fmt.Sprintf("c%d.gw", c), netsim.RouterConfig{ProcDelay: gp.WAN.ProcDelay})
+		accessRate, accessLat := p.UplinkRate, p.UplinkLatency
+		if accessRate == 0 {
+			accessRate, accessLat = p.LinkRate, p.LinkLatency
+		}
+		access := netsim.LinkConfig{Rate: accessRate, Latency: accessLat}
+		attachBuf := p.CorePortBuffer
+		if attachBuf == 0 {
+			attachBuf = p.PortBuffer
+		}
+		nw.ConnectPorts(attach, gw, access, access,
+			netsim.PortConfig{Buffer: attachBuf, Lossless: p.Lossless}, routerLAN)
+		g.Routers = append(g.Routers, gw)
+	}
+
+	// Wide-area peering: full mesh, or a star through a backbone router.
+	wanLink := netsim.LinkConfig{Rate: gp.WAN.Rate, Latency: gp.WAN.Latency}
+	wanPort := netsim.PortConfig{Buffer: gp.WAN.PortBuffer}
+	if gp.WAN.Mesh {
+		for i := 0; i < len(g.Routers); i++ {
+			for j := i + 1; j < len(g.Routers); j++ {
+				nw.ConnectPorts(g.Routers[i], g.Routers[j], wanLink, wanLink, wanPort, wanPort)
+			}
+		}
+	} else {
+		bb := nw.AddRouter("wan.bb", netsim.RouterConfig{ProcDelay: gp.WAN.ProcDelay})
+		for _, r := range g.Routers {
+			nw.ConnectPorts(r, bb, wanLink, wanLink, wanPort, wanPort)
+		}
+	}
+	nw.ComputeRoutes()
+
+	// Every host keeps one connection per remote rank, grid-wide.
+	total := len(hosts)
+	for c, m := range gp.Members {
+		applyRxCost(m.Profile, perCluster[c], total)
+	}
+
+	first := gp.Members[0].Profile
+	fab := transport.NewFabric(nw, hosts, transport.FabricConfig{Kind: kind, TCP: first.TCP, GM: first.GM})
+	g.Env = &Cluster{
+		Profile: Profile{Name: gp.Name, Kind: kind, TCP: first.TCP, GM: first.GM},
+		Sim:     s, Net: nw, Hosts: hosts, Fabric: fab,
+	}
+	return g, nil
+}

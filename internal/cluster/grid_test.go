@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+func TestGridProfilesBuild(t *testing.T) {
+	for name, gp := range GridProfiles() {
+		g, err := BuildGrid(gp, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := len(g.Env.Hosts); got != gp.TotalNodes() {
+			t.Fatalf("%s: %d hosts, want %d", name, got, gp.TotalNodes())
+		}
+		if len(g.Members) != len(gp.Members) {
+			t.Fatalf("%s: %d member lists, want %d", name, len(g.Members), len(gp.Members))
+		}
+		seen := 0
+		for c, ids := range g.Members {
+			for _, id := range ids {
+				if g.ClusterOf[id] != c {
+					t.Fatalf("%s: ClusterOf[%d]=%d, want %d", name, id, g.ClusterOf[id], c)
+				}
+				seen++
+			}
+		}
+		if seen != gp.TotalNodes() {
+			t.Fatalf("%s: member lists cover %d ranks, want %d", name, seen, gp.TotalNodes())
+		}
+	}
+}
+
+func TestGridRejectsMixedTransportKinds(t *testing.T) {
+	gp := GridProfile{
+		Name: "bad",
+		Members: []GridMember{
+			{Profile: FastEthernet(), Nodes: 2},
+			{Profile: Myrinet(), Nodes: 2},
+		},
+		WAN: DefaultWAN(10 * sim.Millisecond),
+	}
+	if _, err := BuildGrid(gp, 1); err == nil || !strings.Contains(err.Error(), "transport kinds") {
+		t.Fatalf("want mixed-kind error, got %v", err)
+	}
+}
+
+func TestGridRejectsNonRetransmittingTransport(t *testing.T) {
+	// GM relies on a lossless fabric; over tail-drop WAN ports the
+	// first lost segment would hang the simulation forever.
+	gp := Uniform("gm-grid", Myrinet(), 2, 2, DefaultWAN(10*sim.Millisecond))
+	if _, err := BuildGrid(gp, 1); err == nil || !strings.Contains(err.Error(), "retransmitting") {
+		t.Fatalf("want transport rejection, got %v", err)
+	}
+}
+
+// TestGridStarCrossesTwoWANLinks: Mesh=false must route through the
+// backbone router even for two clusters, so the one-way path pays the
+// WAN propagation twice.
+func TestGridStarCrossesTwoWANLinks(t *testing.T) {
+	wanLat := 15 * sim.Millisecond
+	wan := DefaultWAN(wanLat)
+	wan.Mesh = false
+	gp := Uniform("t2star", GigabitEthernet(), 2, 2, wan)
+	g, err := BuildGrid(gp, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := g.Members[0][0], g.Members[1][0]
+	var at sim.Time
+	arrived := false
+	g.Env.Fabric.Conn(dst, src).SetHandler(func(m transport.Message) {
+		at, arrived = g.Env.Sim.Now(), true
+	})
+	g.Env.Fabric.Conn(src, dst).Send(transport.Message{Kind: 1, Size: 1024})
+	g.Env.Sim.Run()
+	if !arrived {
+		t.Fatal("cross-cluster message not delivered via backbone")
+	}
+	if at < 2*wanLat {
+		t.Fatalf("delivered at %v, before two WAN hops (%v)", at, 2*wanLat)
+	}
+}
+
+// TestGridCrossClusterTransfer sends a transport message between
+// clusters and checks it arrives no earlier than the WAN propagation
+// delay allows.
+func TestGridCrossClusterTransfer(t *testing.T) {
+	wanLat := 15 * sim.Millisecond
+	gp := Uniform("t2", wanTuned(GigabitEthernet()), 2, 3, DefaultWAN(wanLat))
+	g, err := BuildGrid(gp, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := g.Members[0][0], g.Members[1][0]
+	var at sim.Time
+	arrived := false
+	g.Env.Fabric.Conn(dst, src).SetHandler(func(m transport.Message) {
+		at, arrived = g.Env.Sim.Now(), true
+	})
+	g.Env.Fabric.Conn(src, dst).Send(transport.Message{Kind: 1, Size: 100 << 10})
+	g.Env.Sim.Run()
+	if !arrived {
+		t.Fatal("cross-cluster message not delivered")
+	}
+	if at < wanLat {
+		t.Fatalf("delivered at %v, before one-way WAN latency %v", at, wanLat)
+	}
+}

@@ -62,10 +62,24 @@ func (a Algorithm) String() string {
 	}
 }
 
+// Effective resolves the algorithm that actually runs for n ranks:
+// Pairwise requires a power-of-two rank count and otherwise falls back
+// to Direct. Experiments must label results with the effective
+// algorithm, not the requested one.
+func (a Algorithm) Effective(n int) Algorithm {
+	if a == Pairwise && n&(n-1) != 0 {
+		return Direct
+	}
+	return a
+}
+
 // Alltoall runs one total exchange with per-pair message size m using the
-// chosen algorithm. Every rank must call it.
-func Alltoall(r *mpi.Rank, m int, alg Algorithm) {
-	switch alg {
+// chosen algorithm. Every rank must call it. It returns the algorithm
+// actually executed, which differs from alg only for Pairwise on
+// non-power-of-two rank counts (Direct fallback).
+func Alltoall(r *mpi.Rank, m int, alg Algorithm) Algorithm {
+	eff := alg.Effective(r.Size())
+	switch eff {
 	case Direct:
 		alltoallDirect(r, m)
 	case PostAll:
@@ -73,14 +87,11 @@ func Alltoall(r *mpi.Rank, m int, alg Algorithm) {
 	case Bruck:
 		alltoallBruck(r, m)
 	case Pairwise:
-		if r.Size()&(r.Size()-1) == 0 {
-			alltoallPairwise(r, m)
-		} else {
-			alltoallDirect(r, m)
-		}
+		alltoallPairwise(r, m)
 	default:
 		panic("coll: unknown algorithm")
 	}
+	return eff
 }
 
 // alltoallDirect is Algorithm 1 of the paper.

@@ -1,0 +1,345 @@
+package coll
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Hierarchical All-to-All for multi-cluster grids. Flat Direct Exchange
+// sends every inter-cluster block as its own message across the shared
+// WAN uplink — n_c·(n−n_c) start-ups per cluster over a 10–100 ms pipe.
+// The hierarchical algorithms route inter-cluster traffic through one
+// coordinator per cluster (the MagPIe/LaPIe structure the paper's
+// prediction framework is built for): local blocks travel the LAN
+// directly, remote blocks are aggregated at the coordinator, exchanged
+// coordinator-to-coordinator as one large message per cluster pair, and
+// scattered on arrival.
+//
+// Both algorithms are generated as explicit per-rank communication plans
+// (phases of matched sends and receives annotated with the logical
+// blocks they carry). The plan is what runs on the mpi runtime, and the
+// same plan is executed symbolically by tests to prove every (src,dst)
+// block reaches its destination under arbitrary rank→cluster placements
+// — including uneven cluster sizes — and that the phase structure is
+// deadlock-free.
+
+// tagHier is the reserved tag base for hierarchical collectives.
+const tagHier int32 = 6000
+
+// HierAlgorithm selects a hierarchical All-to-All variant.
+type HierAlgorithm int
+
+const (
+	// HierGather is the sequential variant: intra-cluster direct
+	// exchange rounds, then a per-cluster gather of remote-bound blocks
+	// at the coordinator, one aggregated exchange per coordinator pair,
+	// and a final scatter. Phases do not overlap, so the WAN sees
+	// exactly one aggregated message per cluster pair with no competing
+	// LAN traffic.
+	HierGather HierAlgorithm = iota
+	// HierDirect overlaps the intra-cluster direct exchange with the
+	// coordinator relay: non-coordinators post all local exchanges,
+	// gathers and the scatter receive at once, so LAN and WAN transfers
+	// proceed concurrently and the WAN latency hides behind local work.
+	HierDirect
+)
+
+// HierAlgorithms lists the hierarchical variants.
+var HierAlgorithms = []HierAlgorithm{HierGather, HierDirect}
+
+func (a HierAlgorithm) String() string {
+	switch a {
+	case HierGather:
+		return "hier-gather"
+	case HierDirect:
+		return "hier-direct"
+	default:
+		return fmt.Sprintf("HierAlgorithm(%d)", int(a))
+	}
+}
+
+// Placement maps ranks to clusters. Cluster indices must be dense
+// (0..K-1) with every cluster non-empty; rank→cluster assignment is
+// otherwise arbitrary — members of a cluster need not be contiguous.
+type Placement struct {
+	clusterOf []int
+	members   [][]int
+}
+
+// NewPlacement validates and indexes a rank→cluster map.
+func NewPlacement(clusterOf []int) Placement {
+	if len(clusterOf) == 0 {
+		panic("coll: empty placement")
+	}
+	k := 0
+	for _, c := range clusterOf {
+		if c < 0 {
+			panic("coll: negative cluster index in placement")
+		}
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	p := Placement{clusterOf: append([]int(nil), clusterOf...), members: make([][]int, k)}
+	for r, c := range clusterOf {
+		p.members[c] = append(p.members[c], r)
+	}
+	for c, m := range p.members {
+		if len(m) == 0 {
+			panic(fmt.Sprintf("coll: placement cluster %d is empty", c))
+		}
+	}
+	return p
+}
+
+// NumRanks returns the total rank count.
+func (p Placement) NumRanks() int { return len(p.clusterOf) }
+
+// NumClusters returns the cluster count.
+func (p Placement) NumClusters() int { return len(p.members) }
+
+// Cluster returns the cluster of rank r.
+func (p Placement) Cluster(r int) int { return p.clusterOf[r] }
+
+// Members returns the ranks of cluster c in ascending order.
+func (p Placement) Members(c int) []int { return p.members[c] }
+
+// Coordinator returns cluster c's coordinator (its lowest rank).
+func (p Placement) Coordinator(c int) int { return p.members[c][0] }
+
+// Block is one logical All-to-All block: the m bytes rank Src owes rank
+// Dst. Plans carry blocks so tests can check the permutation; the
+// executor only uses counts.
+type Block struct{ Src, Dst int }
+
+// hierMsg is one matched message of a plan, annotated with its carried
+// blocks and the phase index at which each side posts it.
+type hierMsg struct {
+	from, to           int
+	fromPhase, toPhase int
+	tag                int32
+	blocks             []Block
+}
+
+// planOp is the executor's view of one message end.
+type planOp struct {
+	peer   int
+	tag    int32
+	blocks int
+}
+
+// hierPhase groups the operations a rank posts together and then waits
+// for. Phases run in order on each rank; there is no global barrier.
+type hierPhase struct {
+	sends []planOp
+	recvs []planOp
+}
+
+// HierPlan is a compiled hierarchical All-to-All for one placement.
+type HierPlan struct {
+	Alg     HierAlgorithm
+	Place   Placement
+	perRank [][]hierPhase
+	msgs    []*hierMsg // block-annotated message list, for verification
+}
+
+// planBuilder accumulates matched messages into per-rank phase lists.
+type planBuilder struct {
+	plans [][]hierPhase
+	tags  map[[2]int]int32
+	msgs  []*hierMsg
+}
+
+func newPlanBuilder(n int) *planBuilder {
+	return &planBuilder{plans: make([][]hierPhase, n), tags: map[[2]int]int32{}}
+}
+
+// phase grows rank r's phase list to include index ph and returns it.
+func (b *planBuilder) phase(r, ph int) *hierPhase {
+	for len(b.plans[r]) <= ph {
+		b.plans[r] = append(b.plans[r], hierPhase{})
+	}
+	return &b.plans[r][ph]
+}
+
+// msg registers a message carrying blocks from rank `from` (posted in
+// its phase fromPhase) to rank `to` (received in its phase toPhase).
+// Tags are allocated per ordered rank pair in registration order, which
+// both sides share because one builder constructs the whole plan.
+func (b *planBuilder) msg(from, fromPhase, to, toPhase int, blocks []Block) {
+	if len(blocks) == 0 {
+		return
+	}
+	key := [2]int{from, to}
+	tag := tagHier + b.tags[key]
+	b.tags[key]++
+	m := &hierMsg{from: from, to: to, fromPhase: fromPhase, toPhase: toPhase, tag: tag, blocks: blocks}
+	b.msgs = append(b.msgs, m)
+	sp := b.phase(from, fromPhase)
+	sp.sends = append(sp.sends, planOp{peer: to, tag: tag, blocks: len(blocks)})
+	rp := b.phase(to, toPhase)
+	rp.recvs = append(rp.recvs, planOp{peer: from, tag: tag, blocks: len(blocks)})
+}
+
+// outboundBlocks returns the blocks rank i owes cluster d's members.
+func outboundBlocks(p Placement, i, d int) []Block {
+	var out []Block
+	for _, j := range p.Members(d) {
+		if j != i {
+			out = append(out, Block{Src: i, Dst: j})
+		}
+	}
+	return out
+}
+
+// PlanHier compiles the hierarchical All-to-All plan for a placement.
+func PlanHier(p Placement, alg HierAlgorithm) *HierPlan {
+	b := newPlanBuilder(p.NumRanks())
+	switch alg {
+	case HierGather:
+		planHierGather(b, p)
+	case HierDirect:
+		planHierDirect(b, p)
+	default:
+		panic("coll: unknown hierarchical algorithm")
+	}
+	return &HierPlan{Alg: alg, Place: p, perRank: b.plans, msgs: b.msgs}
+}
+
+// planHierGather emits the sequential gather/exchange/scatter plan.
+// Per-rank phase layout, uniform across cluster sizes:
+//
+//	0  intra-cluster exchange, every local pair posted at once
+//	1  gather: non-coordinators send remote-bound blocks to coord
+//	2  exchange: coordinator pairs swap aggregated blocks
+//	3  scatter: coordinator delivers inbound blocks locally
+//
+// The phases are strictly sequenced per rank, so the WAN exchange sees
+// exactly one aggregated message per cluster pair with no competing LAN
+// traffic — the defining contrast with HierDirect's overlap.
+func planHierGather(b *planBuilder, p Placement) {
+	for c := 0; c < p.NumClusters(); c++ {
+		mem := p.Members(c)
+		planIntraPairs(b, mem, 0)
+		coord := p.Coordinator(c)
+		// Gather: each non-coordinator hands over its blocks for every
+		// remote cluster as one message per remote cluster.
+		for _, i := range mem[1:] {
+			for d := 0; d < p.NumClusters(); d++ {
+				if d != c {
+					b.msg(i, 1, coord, 1, outboundBlocks(p, i, d))
+				}
+			}
+		}
+		// Exchange: one aggregated message per ordered cluster pair.
+		for d := 0; d < p.NumClusters(); d++ {
+			if d == c {
+				continue
+			}
+			var blocks []Block
+			for _, i := range mem {
+				blocks = append(blocks, outboundBlocks(p, i, d)...)
+			}
+			b.msg(coord, 2, p.Coordinator(d), 2, blocks)
+		}
+		// Scatter: the coordinator forwards every inbound remote block
+		// to its local destination (keeping its own).
+		for _, i := range mem[1:] {
+			var blocks []Block
+			for j := 0; j < p.NumRanks(); j++ {
+				if p.Cluster(j) != c {
+					blocks = append(blocks, Block{Src: j, Dst: i})
+				}
+			}
+			b.msg(coord, 3, i, 3, blocks)
+		}
+	}
+}
+
+// planHierDirect emits the overlapped plan. Non-coordinators run a
+// single phase posting everything at once: the intra-cluster exchange
+// (PostAll style), the gathers to the coordinator, and the scatter
+// receive. Coordinators need three phases to respect data dependencies:
+//
+//	0  intra exchange + local gather receives
+//	1  coordinator exchange (sends and receives posted together)
+//	2  local scatter sends
+func planHierDirect(b *planBuilder, p Placement) {
+	for c := 0; c < p.NumClusters(); c++ {
+		mem := p.Members(c)
+		coord := p.Coordinator(c)
+		planIntraPairs(b, mem, 0)
+		// Gathers into the coordinator, posted with everything else.
+		for _, i := range mem[1:] {
+			for d := 0; d < p.NumClusters(); d++ {
+				if d != c {
+					b.msg(i, 0, coord, 0, outboundBlocks(p, i, d))
+				}
+			}
+		}
+		// Coordinator exchange.
+		for d := 0; d < p.NumClusters(); d++ {
+			if d == c {
+				continue
+			}
+			var blocks []Block
+			for _, i := range mem {
+				blocks = append(blocks, outboundBlocks(p, i, d)...)
+			}
+			b.msg(coord, 1, p.Coordinator(d), 1, blocks)
+		}
+		// Scatter, received by non-coordinators in their single phase.
+		for _, i := range mem[1:] {
+			var blocks []Block
+			for j := 0; j < p.NumRanks(); j++ {
+				if p.Cluster(j) != c {
+					blocks = append(blocks, Block{Src: j, Dst: i})
+				}
+			}
+			b.msg(coord, 2, i, 0, blocks)
+		}
+	}
+}
+
+// planIntraPairs emits the intra-cluster exchange among mem in a single
+// phase: every local ordered pair's block, all posted at once (PostAll
+// style, the shape the contention signature is fitted on).
+func planIntraPairs(b *planBuilder, mem []int, phase int) {
+	for ki, i := range mem {
+		for _, j := range mem[ki+1:] {
+			b.msg(i, phase, j, phase, []Block{{Src: i, Dst: j}})
+			b.msg(j, phase, i, phase, []Block{{Src: j, Dst: i}})
+		}
+	}
+}
+
+// AlltoallHierPlanned executes a compiled plan on the calling rank with
+// per-pair message size m. Every rank of the plan's placement must call
+// it with the same plan and m.
+func AlltoallHierPlanned(r *mpi.Rank, plan *HierPlan, m int) {
+	if plan.Place.NumRanks() != r.Size() {
+		panic(fmt.Sprintf("coll: plan for %d ranks executed on world of %d",
+			plan.Place.NumRanks(), r.Size()))
+	}
+	for _, ph := range plan.perRank[r.ID()] {
+		if len(ph.sends) == 0 && len(ph.recvs) == 0 {
+			continue
+		}
+		qs := make([]*mpi.Request, 0, len(ph.sends)+len(ph.recvs))
+		for _, rv := range ph.recvs {
+			qs = append(qs, r.Irecv(rv.peer, rv.tag))
+		}
+		for _, sd := range ph.sends {
+			qs = append(qs, r.Isend(sd.peer, sd.tag, sd.blocks*m))
+		}
+		r.WaitAll(qs...)
+	}
+}
+
+// AlltoallHier compiles and executes the hierarchical All-to-All. For
+// repeated measurements compile once with PlanHier and use
+// AlltoallHierPlanned instead.
+func AlltoallHier(r *mpi.Rank, place Placement, m int, alg HierAlgorithm) {
+	AlltoallHierPlanned(r, PlanHier(place, alg), m)
+}

@@ -1,0 +1,232 @@
+package coll
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// verifyHierPlan executes a plan symbolically at block granularity: each
+// rank advances through its phases; a phase completes once every inbound
+// message's sender has posted it (entered its own sending phase). It
+// checks three properties of the actual plan the mpi executor runs:
+//
+//  1. progress: every rank finishes all phases (deadlock-freedom of the
+//     phase structure under dependency-respecting scheduling);
+//  2. causality: a rank holds every block it sends at posting time;
+//  3. permutation: afterwards every rank holds exactly the blocks
+//     addressed to it.
+func verifyHierPlan(t *testing.T, plan *HierPlan) {
+	t.Helper()
+	p := plan.Place
+	n := p.NumRanks()
+	hold := make([]map[Block]bool, n)
+	for i := 0; i < n; i++ {
+		hold[i] = map[Block]bool{}
+		for j := 0; j < n; j++ {
+			if j != i {
+				hold[i][Block{Src: i, Dst: j}] = true
+			}
+		}
+	}
+	progress := make([]int, n)
+
+	// checkSendsHeld asserts causality when rank r enters phase ph.
+	checkSendsHeld := func(r, ph int) {
+		for _, m := range plan.msgs {
+			if m.from != r || m.fromPhase != ph {
+				continue
+			}
+			for _, blk := range m.blocks {
+				if !hold[r][blk] {
+					t.Fatalf("%v: rank %d posts block %+v in phase %d without holding it",
+						plan.Alg, r, blk, ph)
+				}
+			}
+		}
+	}
+	for r := 0; r < n; r++ {
+		checkSendsHeld(r, 0)
+	}
+
+	for {
+		advanced := false
+		for r := 0; r < n; r++ {
+			ph := progress[r]
+			if ph >= len(plan.perRank[r]) {
+				continue
+			}
+			ready := true
+			for _, m := range plan.msgs {
+				if m.to == r && m.toPhase == ph && progress[m.from] < m.fromPhase {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			for _, m := range plan.msgs {
+				if m.to == r && m.toPhase == ph {
+					for _, blk := range m.blocks {
+						hold[r][blk] = true
+					}
+				}
+			}
+			progress[r]++
+			if progress[r] < len(plan.perRank[r]) {
+				checkSendsHeld(r, progress[r])
+			}
+			advanced = true
+		}
+		if !advanced {
+			break
+		}
+	}
+	for r := 0; r < n; r++ {
+		if progress[r] != len(plan.perRank[r]) {
+			t.Fatalf("%v: deadlock, rank %d stuck at phase %d/%d",
+				plan.Alg, r, progress[r], len(plan.perRank[r]))
+		}
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if i != j && !hold[j][Block{Src: i, Dst: j}] {
+				t.Fatalf("%v: block %d->%d never reached rank %d", plan.Alg, i, j, j)
+			}
+		}
+	}
+}
+
+// TestHierPlanPermutation checks block-permutation correctness of both
+// hierarchical algorithms across placements with uneven cluster sizes,
+// single-rank clusters, one-cluster grids and non-contiguous
+// rank→cluster assignments.
+func TestHierPlanPermutation(t *testing.T) {
+	placements := [][]int{
+		{0},
+		{0, 0, 0},
+		{0, 1},
+		{0, 0, 1},
+		{0, 1, 2},
+		{0, 0, 0, 1, 1, 1, 1},
+		{0, 0, 0, 1, 2, 2, 2, 2, 2},
+		{0, 1, 0, 2, 1, 0, 2, 2, 1}, // interleaved placement
+	}
+	for _, clusterOf := range placements {
+		place := NewPlacement(clusterOf)
+		for _, alg := range HierAlgorithms {
+			verifyHierPlan(t, PlanHier(place, alg))
+		}
+	}
+}
+
+// TestHierPlanPermutationRandom fuzzes placements: random cluster counts
+// and random (dense, non-empty) assignments.
+func TestHierPlanPermutationRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 40; iter++ {
+		k := rng.Intn(4) + 1
+		n := k + rng.Intn(10)
+		clusterOf := make([]int, n)
+		// Guarantee every cluster is non-empty, then fill randomly.
+		perm := rng.Perm(n)
+		for c := 0; c < k; c++ {
+			clusterOf[perm[c]] = c
+		}
+		for i := k; i < n; i++ {
+			clusterOf[perm[i]] = rng.Intn(k)
+		}
+		place := NewPlacement(clusterOf)
+		for _, alg := range HierAlgorithms {
+			verifyHierPlan(t, PlanHier(place, alg))
+		}
+	}
+}
+
+// TestHierPlanAggregation: the WAN-crossing traffic of a hierarchical
+// plan is exactly one message per ordered cluster pair, carrying every
+// inter-cluster block once.
+func TestHierPlanAggregation(t *testing.T) {
+	place := NewPlacement([]int{0, 0, 0, 1, 1, 2})
+	for _, alg := range HierAlgorithms {
+		plan := PlanHier(place, alg)
+		cross := map[[2]int]int{}
+		for _, m := range plan.msgs {
+			cf, ct := place.Cluster(m.from), place.Cluster(m.to)
+			if cf != ct {
+				cross[[2]int{cf, ct}]++
+				if m.from != place.Coordinator(cf) || m.to != place.Coordinator(ct) {
+					t.Fatalf("%v: inter-cluster message %d->%d not coordinator-relayed", alg, m.from, m.to)
+				}
+			}
+		}
+		k := place.NumClusters()
+		if len(cross) != k*(k-1) {
+			t.Fatalf("%v: %d cross-cluster message pairs, want %d", alg, len(cross), k*(k-1))
+		}
+		for pair, cnt := range cross {
+			if cnt != 1 {
+				t.Fatalf("%v: cluster pair %v crossed by %d messages, want 1", alg, pair, cnt)
+			}
+		}
+	}
+}
+
+// TestHierAlltoallOnGrid runs both hierarchical algorithms end-to-end on
+// a simulated two-cluster grid over a 10 ms WAN and checks completion
+// (the mpi runtime panics on deadlock) with a physically sensible time.
+func TestHierAlltoallOnGrid(t *testing.T) {
+	gp := cluster.Uniform("t-hier", cluster.GigabitEthernet(), 2, 3,
+		cluster.DefaultWAN(10*sim.Millisecond))
+	for _, alg := range HierAlgorithms {
+		g, err := cluster.BuildGrid(gp, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		place := NewPlacement(g.ClusterOf)
+		plan := PlanHier(place, alg)
+		w := mpi.NewWorld(g.Env, mpi.Config{})
+		meas := Measure(w, 0, 1, func(r *mpi.Rank) { AlltoallHierPlanned(r, plan, 20_000) })
+		if meas.Mean() <= 0.010 {
+			t.Fatalf("%v: completion %.4fs, cannot beat one WAN latency", alg, meas.Mean())
+		}
+		if meas.Mean() > 5 {
+			t.Fatalf("%v: completion %.1fs implausibly slow", alg, meas.Mean())
+		}
+	}
+}
+
+// TestAlltoallReportsEffectiveAlgorithm is the regression test for the
+// silent Pairwise→Direct fallback: the effective algorithm is reported,
+// both statically and from the runtime.
+func TestAlltoallReportsEffectiveAlgorithm(t *testing.T) {
+	if got := Pairwise.Effective(6); got != Direct {
+		t.Fatalf("Pairwise.Effective(6) = %v, want Direct", got)
+	}
+	if got := Pairwise.Effective(8); got != Pairwise {
+		t.Fatalf("Pairwise.Effective(8) = %v, want Pairwise", got)
+	}
+	for _, alg := range []Algorithm{Direct, PostAll, Bruck} {
+		if got := alg.Effective(6); got != alg {
+			t.Fatalf("%v.Effective(6) = %v, want %v", alg, got, alg)
+		}
+	}
+	for _, n := range []int{6, 8} {
+		cl := cluster.Build(cluster.Myrinet(), n, 3)
+		w := mpi.NewWorld(cl, mpi.Config{})
+		got := make([]Algorithm, n)
+		w.Run(func(r *mpi.Rank) {
+			got[r.ID()] = Alltoall(r, 4096, Pairwise)
+		})
+		want := Pairwise.Effective(n)
+		for id, eff := range got {
+			if eff != want {
+				t.Fatalf("n=%d rank %d: Alltoall ran %v, want %v", n, id, eff, want)
+			}
+		}
+	}
+}

@@ -37,8 +37,14 @@ func init() {
 					meas := coll.Measure(w, cfg.Warmup, cfg.Reps, func(r *mpi.Rank) {
 						coll.Alltoall(r, m, alg)
 					})
-					s.Rows = append(s.Rows, []float64{float64(pi), float64(ai), meas.Mean(), meas.Mean() / lb})
-					res.Note("%s/%s: %.4fs (%.2fx LB)", p.Name, alg, meas.Mean(), meas.Mean()/lb)
+					// Label rows with the algorithm that actually ran
+					// (Pairwise falls back to Direct off powers of two).
+					eff := alg.Effective(n)
+					s.Rows = append(s.Rows, []float64{float64(pi), float64(eff), meas.Mean(), meas.Mean() / lb})
+					if eff != alg {
+						res.Note("%s: requested %s, ran %s (n=%d not a power of two)", p.Name, alg, eff, n)
+					}
+					res.Note("%s/%s: %.4fs (%.2fx LB)", p.Name, eff, meas.Mean(), meas.Mean()/lb)
 				}
 			}
 			res.Series = append(res.Series, s)

@@ -1,0 +1,367 @@
+// Package grid implements the contention-aware planner for multi-cluster
+// All-to-All: given a cluster.GridProfile and a message size, it predicts
+// the completion time of each candidate strategy (flat direct exchange,
+// hierarchical gather, hierarchical direct) from the per-cluster
+// contention signatures and a WAN term, and selects the best — the
+// paper's "performance prediction framework" use case, extended from one
+// cluster to a grid.
+//
+// Characterization follows the paper's Section 7 procedure per member
+// network: a ping-pong calibrates the contention-free Hockney
+// parameters, a small All-to-All sweep at a modest process count fits
+// the contention signature, and the signature extrapolates. The WAN side
+// is derived analytically from the grid profile (propagation, router
+// forwarding, wire rate, and the transport's window cap over the
+// long-fat pipe).
+package grid
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/calib"
+	"repro/internal/cluster"
+	"repro/internal/coll"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/signature"
+	"repro/internal/transport"
+)
+
+// Strategy is one candidate All-to-All execution strategy on a grid.
+type Strategy int
+
+const (
+	// FlatDirect runs the paper's Algorithm 1 over the whole grid,
+	// ignoring topology.
+	FlatDirect Strategy = iota
+	// HierGather runs coll.HierGather (sequential gather / coordinator
+	// exchange / scatter).
+	HierGather
+	// HierDirect runs coll.HierDirect (intra-cluster exchange
+	// overlapped with the coordinator relay).
+	HierDirect
+)
+
+// Strategies lists all candidate strategies.
+var Strategies = []Strategy{FlatDirect, HierGather, HierDirect}
+
+func (s Strategy) String() string {
+	switch s {
+	case FlatDirect:
+		return "flat-direct"
+	case HierGather:
+		return "hier-gather"
+	case HierDirect:
+		return "hier-direct"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// tagWANProbe is the reserved tag of the WAN ping-pong probe.
+const tagWANProbe int32 = 7100
+
+// Options tunes planner characterization. Zero values take defaults.
+type Options struct {
+	// FitN is the process count n' at which each member network's
+	// signature is fitted (default 8).
+	FitN int
+	// FitSizes is the message sweep of the fit (default 16k..512k, 5
+	// points; at least 4 are required).
+	FitSizes []int
+	// WANSizes is the transfer sweep of the WAN ping-pong curve
+	// (default 2k..1M, 5 points).
+	WANSizes []int
+	// ProbeSize is the per-pair message size of the flat-exchange probe
+	// that fits the WAN contention factor γ_wan (default 64 KiB).
+	ProbeSize int
+	// Reps is the repetitions per measured point (default 2).
+	Reps int
+	// Seed drives the characterization simulations.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.FitN == 0 {
+		o.FitN = 8
+	}
+	if len(o.FitSizes) == 0 {
+		o.FitSizes = []int{16 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10}
+	}
+	if len(o.WANSizes) == 0 {
+		o.WANSizes = []int{2 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+	}
+	if o.ProbeSize == 0 {
+		o.ProbeSize = 64 << 10
+	}
+	if o.Reps == 0 {
+		o.Reps = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Planner predicts and ranks grid All-to-All strategies.
+type Planner struct {
+	Profile cluster.GridProfile
+	Model   model.GridModel
+	// Hockney holds the calibrated point-to-point parameters per member
+	// (diagnostic).
+	Hockney []model.Hockney
+}
+
+// NewPlanner characterizes every member network of the grid profile and
+// assembles the grid model. Identical member profiles (uniform grids)
+// are characterized once.
+func NewPlanner(gp cluster.GridProfile, opt Options) (*Planner, error) {
+	opt = opt.withDefaults()
+	if len(gp.Members) < 2 {
+		// A single cluster is the paper's base case: use the plain
+		// contention signature, there is no WAN to characterize.
+		return nil, fmt.Errorf("grid: profile %q has %d member(s), planner needs at least 2", gp.Name, len(gp.Members))
+	}
+	pl := &Planner{Profile: gp}
+	var gm model.GridModel
+
+	type charac struct {
+		h   model.Hockney
+		sig model.Signature
+	}
+	// Keyed on the full profile value: members sharing a name but not
+	// tuning (e.g. a widened receive window) must not share a fit.
+	cache := map[cluster.Profile]charac{}
+	for _, mem := range gp.Members {
+		p := mem.Profile
+		ch, ok := cache[p]
+		if !ok {
+			h := calib.PingPong(p, mpi.Config{}, opt.Seed, calib.PingPongConfig{Reps: 3})
+			samples := make([]signature.Sample, 0, len(opt.FitSizes))
+			for i, m := range opt.FitSizes {
+				cl := cluster.Build(p, opt.FitN, opt.Seed+int64(i)*101)
+				w := mpi.NewWorld(cl, mpi.Config{})
+				meas := coll.Measure(w, 1, opt.Reps, func(r *mpi.Rank) {
+					coll.Alltoall(r, m, coll.PostAll)
+				})
+				samples = append(samples, signature.Sample{M: m, T: meas.Mean()})
+			}
+			sig, _, err := signature.Fit(h, opt.FitN, samples, signature.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("grid: fitting %s: %w", p.Name, err)
+			}
+			ch = charac{h: h, sig: sig}
+			cache[p] = ch
+		}
+		pl.Hockney = append(pl.Hockney, ch.h)
+		gm.Sizes = append(gm.Sizes, mem.Nodes)
+		gm.LAN = append(gm.LAN, ch.sig)
+	}
+	// WAN path: empirical ping-pong curve over a one-node-per-cluster
+	// instance of the same grid, then the flat-exchange probe that fits
+	// the uplink contention factor γ_wan.
+	wan, err := characterizeWAN(gp, opt)
+	if err != nil {
+		return nil, err
+	}
+	gm.Wan = wan
+	if err := gm.Validate(); err != nil {
+		return nil, err
+	}
+	gamma, omega, kappa, err := fitContentionFactors(gp, gm, opt)
+	if err != nil {
+		return nil, err
+	}
+	gm.Wan.Gamma = gamma
+	gm.OverlapGamma = omega
+	gm.GatherGamma = kappa
+	pl.Model = gm
+	return pl, nil
+}
+
+// characterizeWAN measures the one-way WAN transfer curve between the
+// first two clusters of a minimal (one node per cluster) instance of
+// the grid — the same wires, routers and transport tuning as the real
+// deployment, so slow-start and window effects land in the curve — and
+// derives the wire-rate serialization floor from the profile.
+func characterizeWAN(gp cluster.GridProfile, opt Options) (model.WANModel, error) {
+	mini := gp
+	mini.Members = append([]cluster.GridMember(nil), gp.Members...)
+	for i := range mini.Members {
+		mini.Members[i].Nodes = 1
+	}
+	g, err := cluster.BuildGrid(mini, opt.Seed+31)
+	if err != nil {
+		return model.WANModel{}, err
+	}
+	sizes := append([]int(nil), opt.WANSizes...)
+	sort.Ints(sizes)
+	times := make(map[int][]float64, len(sizes))
+	w := mpi.NewWorld(g.Env, mpi.Config{})
+	w.Run(func(r *mpi.Rank) {
+		if r.ID() > 1 {
+			return
+		}
+		for _, m := range sizes {
+			// One unmeasured repetition warms the congestion window,
+			// matching the warmed-up conditions of measured exchanges.
+			for rep := 0; rep <= opt.Reps; rep++ {
+				if r.ID() == 0 {
+					t0 := r.Now()
+					r.Send(1, tagWANProbe, m)
+					r.Recv(1, tagWANProbe)
+					if rep > 0 {
+						times[m] = append(times[m], (r.Now()-t0).Seconds()/2)
+					}
+				} else {
+					r.Recv(0, tagWANProbe)
+					r.Send(0, tagWANProbe, m)
+				}
+			}
+		}
+	})
+	curve := make([]model.WANPoint, 0, len(sizes))
+	for _, m := range sizes {
+		ts := times[m]
+		if len(ts) == 0 {
+			return model.WANModel{}, fmt.Errorf("grid: WAN probe produced no samples for %d bytes", m)
+		}
+		mean := 0.0
+		for _, t := range ts {
+			mean += t
+		}
+		curve = append(curve, model.WANPoint{Bytes: m, T: mean / float64(len(ts))})
+	}
+	return model.WANModel{
+		Curve:    curve,
+		BetaWire: wireGap(gp),
+		Gamma:    1,
+	}, nil
+}
+
+// wireGap returns the WAN uplink's per-byte serialization gap including
+// framing overhead. Grids are TCP-only (BuildGrid enforces it).
+func wireGap(gp cluster.GridProfile) float64 {
+	p := gp.Members[0].Profile
+	tcp := transport.DefaultTCPConfig()
+	mss, hdr := tcp.MSS, tcp.HeaderSize
+	if p.TCP.MSS > 0 {
+		mss = p.TCP.MSS
+	}
+	if p.TCP.HeaderSize > 0 {
+		hdr = p.TCP.HeaderSize
+	}
+	return float64(mss+hdr) / float64(mss) / float64(gp.WAN.Rate)
+}
+
+// fitContentionFactors runs each strategy once on a capped probe grid
+// and inverts the model decompositions for the contention factors the
+// analytics cannot supply — the grid analogue of fitting γ at a modest
+// n′ and extrapolating. Each strategy has one fitted hotspot factor:
+//
+//	γ_wan  flat:        shared-uplink inflation under uncoordinated flows
+//	ω      hier-direct: WAN-leg inflation from overlapped LAN traffic
+//	κ      hier-gather: coordinator-incast inflation of the synchronized
+//	                    gather/scatter phases
+func fitContentionFactors(gp cluster.GridProfile, gm model.GridModel, opt Options) (gamma, omega, kappa float64, err error) {
+	probe := gp
+	probe.Members = append([]cluster.GridMember(nil), gp.Members...)
+	probeModel := gm
+	probeModel.Sizes = append([]int(nil), gm.Sizes...)
+	// The probe keeps the grid's shape but caps cluster sizes: large
+	// enough that uplink sharing and LAN/WAN overlap interference show
+	// up, small enough to stay affordable.
+	for i := range probe.Members {
+		n := probe.Members[i].Nodes
+		if n > 4 {
+			n = 4
+		}
+		probe.Members[i].Nodes = n
+		probeModel.Sizes[i] = n
+	}
+	clamp := func(v float64) float64 {
+		if v < 1 {
+			return 1
+		}
+		if v > 50 {
+			return 50
+		}
+		return v
+	}
+
+	gamma = 1
+	simFlat, err := Simulate(probe, FlatDirect, opt.ProbeSize, opt.Seed+53, 1, opt.Reps)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if lan, startup, wan := probeModel.FlatParts(opt.ProbeSize); wan > 0 {
+		gamma = clamp((simFlat - lan - startup) / wan)
+	}
+
+	omega = 1
+	simHD, err := Simulate(probe, HierDirect, opt.ProbeSize, opt.Seed+71, 1, opt.Reps)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if phase0, xchg, scatter := probeModel.HierDirectParts(opt.ProbeSize); xchg > 0 {
+		omega = clamp((simHD - phase0 - scatter) / xchg)
+	}
+
+	kappa = 1
+	simHG, err := Simulate(probe, HierGather, opt.ProbeSize, opt.Seed+89, 1, opt.Reps)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if intra, xchg, local := probeModel.HierGatherParts(opt.ProbeSize); local > 0 {
+		kappa = clamp((simHG - intra - xchg) / local)
+	}
+	return gamma, omega, kappa, nil
+}
+
+// Prediction is one strategy's predicted completion time.
+type Prediction struct {
+	Strategy Strategy
+	T        float64 // seconds
+}
+
+// Predict returns every strategy's predicted completion time for an
+// All-to-All of per-pair message size m, sorted fastest first.
+func (pl *Planner) Predict(m int) []Prediction {
+	out := []Prediction{
+		{FlatDirect, pl.Model.PredictFlat(m)},
+		{HierGather, pl.Model.PredictHierGather(m)},
+		{HierDirect, pl.Model.PredictHierDirect(m)},
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// Best returns the predicted-fastest strategy for message size m.
+func (pl *Planner) Best(m int) Prediction { return pl.Predict(m)[0] }
+
+// Simulate builds the grid and measures one strategy's All-to-All
+// completion time in full packet-level simulation — the planner's ground
+// truth for validation.
+func Simulate(gp cluster.GridProfile, strat Strategy, m int, seed int64, warmup, reps int) (float64, error) {
+	g, err := cluster.BuildGrid(gp, seed)
+	if err != nil {
+		return 0, err
+	}
+	var op func(r *mpi.Rank)
+	switch strat {
+	case FlatDirect:
+		op = func(r *mpi.Rank) { coll.Alltoall(r, m, coll.Direct) }
+	case HierGather, HierDirect:
+		alg := coll.HierGather
+		if strat == HierDirect {
+			alg = coll.HierDirect
+		}
+		plan := coll.PlanHier(coll.NewPlacement(g.ClusterOf), alg)
+		op = func(r *mpi.Rank) { coll.AlltoallHierPlanned(r, plan, m) }
+	default:
+		return 0, fmt.Errorf("grid: unknown strategy %v", strat)
+	}
+	w := mpi.NewWorld(g.Env, mpi.Config{})
+	return coll.Measure(w, warmup, reps, op).Mean(), nil
+}

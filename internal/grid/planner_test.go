@@ -1,0 +1,122 @@
+package grid
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// testGrid is the acceptance scenario: two clusters over a ≥10 ms WAN.
+func testGrid() cluster.GridProfile {
+	p := cluster.GigabitEthernet()
+	p.TCP.RcvWindow = 256 << 10 // long-fat-pipe tuning
+	return cluster.Uniform("test-grid", p, 2, 3, cluster.DefaultWAN(20*sim.Millisecond))
+}
+
+// cheapOptions keeps characterization affordable in CI.
+func cheapOptions() Options {
+	return Options{
+		FitN:     6,
+		FitSizes: []int{16 << 10, 64 << 10, 128 << 10, 256 << 10},
+		WANSizes: []int{2 << 10, 32 << 10, 128 << 10, 512 << 10},
+		Reps:     1,
+		Seed:     3,
+	}
+}
+
+func TestPlannerCharacterization(t *testing.T) {
+	pl, err := NewPlanner(testGrid(), cheapOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wan := pl.Model.Wan
+	if len(wan.Curve) != 4 {
+		t.Fatalf("WAN curve has %d points, want 4", len(wan.Curve))
+	}
+	// One-way start-up must reflect the 20 ms WAN propagation.
+	if wan.Alpha() < 0.020 {
+		t.Fatalf("WAN α = %v, below the 20 ms propagation delay", wan.Alpha())
+	}
+	if wan.Gamma < 1 {
+		t.Fatalf("fitted γ_wan = %v, must be ≥ 1", wan.Gamma)
+	}
+	if got := pl.Model.TotalNodes(); got != 6 {
+		t.Fatalf("model covers %d nodes, want 6", got)
+	}
+	for c, sig := range pl.Model.LAN {
+		if sig.Gamma < 1 {
+			t.Fatalf("cluster %d signature γ = %v < 1", c, sig.Gamma)
+		}
+	}
+	// Uniform grids characterize the member profile once; both entries
+	// must be identical.
+	if pl.Model.LAN[0] != pl.Model.LAN[1] {
+		t.Fatal("uniform grid re-characterized an identical member profile")
+	}
+}
+
+// TestPlannerRankingMatchesSimulation is the subsystem's acceptance
+// test: across a message-size sweep on a two-cluster grid over a 20 ms
+// WAN, the planner's predicted completion times must rank the three
+// strategies in the same order as packet-level simulation (simulated
+// times averaged over seeds, since single lossy-TCP runs are noisy).
+func TestPlannerRankingMatchesSimulation(t *testing.T) {
+	p := cluster.GigabitEthernet()
+	p.TCP.RcvWindow = 256 << 10
+	gp := cluster.Uniform("accept-grid", p, 2, 6, cluster.DefaultWAN(20*sim.Millisecond))
+	pl, err := NewPlanner(gp, Options{FitN: 8, Reps: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []int{16 << 10, 48 << 10} {
+		preds := pl.Predict(m)
+		if len(preds) != len(Strategies) {
+			t.Fatalf("m=%d: %d predictions, want %d", m, len(preds), len(Strategies))
+		}
+		type ranked struct {
+			s Strategy
+			t float64
+		}
+		var sims []ranked
+		for _, s := range Strategies {
+			mean := 0.0
+			for _, seed := range []int64{7, 19} {
+				st, err := Simulate(gp, s, m, seed, 1, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st <= 0 {
+					t.Fatalf("m=%d %v: nonpositive simulated time", m, s)
+				}
+				mean += st
+			}
+			sims = append(sims, ranked{s, mean / 2})
+		}
+		sort.SliceStable(sims, func(i, j int) bool { return sims[i].t < sims[j].t })
+		for i := range preds {
+			if preds[i].Strategy != sims[i].s {
+				t.Fatalf("m=%d: predicted order %v... differs from simulated order %v... (pred=%v sim=%v)",
+					m, preds[i].Strategy, sims[i].s, preds, sims)
+			}
+		}
+		if best := pl.Best(m); best.Strategy != sims[0].s {
+			t.Fatalf("m=%d: Best() = %v, simulation says %v", m, best.Strategy, sims[0].s)
+		}
+	}
+}
+
+func TestSimulateRejectsUnknownStrategy(t *testing.T) {
+	if _, err := Simulate(testGrid(), Strategy(99), 1024, 1, 0, 1); err == nil {
+		t.Fatal("unknown strategy must error")
+	}
+}
+
+func TestPlannerRejectsSingleCluster(t *testing.T) {
+	gp := cluster.Uniform("solo", cluster.GigabitEthernet(), 1, 4,
+		cluster.DefaultWAN(10*sim.Millisecond))
+	if _, err := NewPlanner(gp, cheapOptions()); err == nil {
+		t.Fatal("single-cluster grid must be rejected with an error, not a panic")
+	}
+}

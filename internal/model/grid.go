@@ -1,0 +1,314 @@
+package model
+
+import "fmt"
+
+// Grid extension of the contention model: the paper's single-cluster
+// signature T(n,m) = (n−1)(α+mβ)γ [+ (n−1)δ] composes with a WAN term
+// into completion-time predictions for All-to-All over a multi-cluster
+// grid. Three strategies are modeled:
+//
+//   - flat direct exchange, where every inter-cluster block is its own
+//     message through the shared WAN uplink;
+//   - hierarchical gather / coordinator exchange / scatter (sequential
+//     phases);
+//   - hierarchical direct (intra-cluster exchange overlapped with the
+//     coordinator relay).
+//
+// The WAN term follows the paper's methodology rather than first
+// principles: the path is characterized empirically by a ping-pong
+// transfer-time curve (which automatically captures propagation, router
+// forwarding, transport slow-start and the per-flow window cap over a
+// long-fat pipe), and the flat exchange's loss-recovery chaos on the
+// shared uplink buffer is summarized by a fitted contention factor
+// γ_wan, exactly as γ summarizes it inside a cluster.
+
+// WANPoint is one measured point of the WAN transfer curve.
+type WANPoint struct {
+	Bytes int
+	T     float64 // one-way transfer time (s)
+}
+
+// WANModel describes the wide-area path between two clusters.
+type WANModel struct {
+	// Curve is the measured one-way transfer-time curve of a single
+	// flow, ascending in Bytes. Queries interpolate linearly and
+	// extrapolate with the terminal slope (the steady window- or
+	// wire-limited gap).
+	Curve []WANPoint
+	// BetaWire is the inverse uplink rate in s/B including framing
+	// overhead: the serialization floor shared by all concurrent flows.
+	BetaWire float64
+	// Gamma is the contention factor charged to the flat exchange's
+	// uncoordinated flows on the shared uplink (≥ 1), fitted from a
+	// small probe grid like the paper fits γ at n'.
+	Gamma float64
+}
+
+// Alpha returns the WAN start-up: the smallest measured transfer time.
+func (w WANModel) Alpha() float64 {
+	if len(w.Curve) == 0 {
+		return 0
+	}
+	return w.Curve[0].T
+}
+
+// BetaSteady returns the terminal slope of the curve: the steady
+// per-byte gap of one established flow.
+func (w WANModel) BetaSteady() float64 {
+	if len(w.Curve) < 2 {
+		return w.BetaWire
+	}
+	a, b := w.Curve[len(w.Curve)-2], w.Curve[len(w.Curve)-1]
+	if b.Bytes <= a.Bytes {
+		return w.BetaWire
+	}
+	slope := (b.T - a.T) / float64(b.Bytes-a.Bytes)
+	if slope < w.BetaWire {
+		slope = w.BetaWire
+	}
+	return slope
+}
+
+// Transfer predicts one flow moving `bytes` one way across the WAN by
+// interpolating the measured curve.
+func (w WANModel) Transfer(bytes int) float64 {
+	if bytes <= 0 || len(w.Curve) == 0 {
+		return 0
+	}
+	c := w.Curve
+	if bytes <= c[0].Bytes {
+		return c[0].T
+	}
+	for i := 1; i < len(c); i++ {
+		if bytes <= c[i].Bytes {
+			frac := float64(bytes-c[i-1].Bytes) / float64(c[i].Bytes-c[i-1].Bytes)
+			return c[i-1].T + frac*(c[i].T-c[i-1].T)
+		}
+	}
+	last := c[len(c)-1]
+	return last.T + float64(bytes-last.Bytes)*w.BetaSteady()
+}
+
+// TransferShared predicts `flows` concurrent flows of bytesPerFlow each
+// through one uplink: each flow is individually curve-limited (they ramp
+// in parallel), while their aggregate serializes at the wire rate.
+func (w WANModel) TransferShared(flows, bytesPerFlow int) float64 {
+	if flows <= 0 || bytesPerFlow <= 0 {
+		return 0
+	}
+	perFlow := w.Transfer(bytesPerFlow)
+	wire := w.Alpha() + float64(flows)*float64(bytesPerFlow)*w.BetaWire
+	if wire > perFlow {
+		return wire
+	}
+	return perFlow
+}
+
+// GridModel predicts All-to-All completion times on a two-level grid:
+// per-cluster contention signatures below, a WAN model between border
+// routers above.
+type GridModel struct {
+	Sizes []int       // nodes per cluster
+	LAN   []Signature // per-cluster contention signature
+	Wan   WANModel
+	// OverlapGamma inflates the hier-direct WAN exchange leg (≥ 1):
+	// with the intra-cluster exchange still churning the LAN, inbound
+	// WAN packets get dropped at the edge and the wide-area flows pay
+	// loss recovery. Fitted from a probe grid, like Wan.Gamma; values
+	// < 1 are treated as 1.
+	OverlapGamma float64
+	// GatherGamma inflates the hier-gather gather and scatter legs
+	// (≥ 1): the strict phase structure synchronizes the s−1 local
+	// flows into a coordinator-port incast whose loss recovery the
+	// plain serialization term misses. Fitted from a probe grid.
+	GatherGamma float64
+}
+
+// Validate checks structural consistency.
+func (g GridModel) Validate() error {
+	if len(g.Sizes) == 0 {
+		return fmt.Errorf("model: grid with no clusters")
+	}
+	if len(g.Sizes) != len(g.LAN) {
+		return fmt.Errorf("model: %d cluster sizes but %d LAN signatures", len(g.Sizes), len(g.LAN))
+	}
+	for c, s := range g.Sizes {
+		if s < 1 {
+			return fmt.Errorf("model: cluster %d has %d nodes", c, s)
+		}
+	}
+	return nil
+}
+
+// TotalNodes sums cluster sizes.
+func (g GridModel) TotalNodes() int {
+	n := 0
+	for _, s := range g.Sizes {
+		n += s
+	}
+	return n
+}
+
+// intra returns the worst per-cluster intra-exchange time: each cluster
+// runs a local All-to-All among its own ranks, predicted by its
+// contention signature.
+func (g GridModel) intra(m int) float64 {
+	worst := 0.0
+	for c, s := range g.Sizes {
+		if t := g.LAN[c].Predict(s, m); t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// FlatParts decomposes the flat-exchange prediction at γ_wan = 1 for
+// the worst cluster: the local LAN term, the per-round WAN start-ups,
+// and the WAN transfer term that Gamma multiplies. Planner calibration
+// inverts this decomposition to fit Gamma from a probe measurement.
+func (g GridModel) FlatParts(m int) (lan, startup, wan float64) {
+	n := g.TotalNodes()
+	worst := 0.0
+	for c, s := range g.Sizes {
+		remote := n - s
+		clan := g.LAN[c].Predict(s, m)
+		if remote == 0 {
+			if clan > worst {
+				worst, lan, startup, wan = clan, clan, 0, 0
+			}
+			continue
+		}
+		// Every rank runs `remote` WAN rounds, paying the one-way
+		// start-up per round; the cluster's s·remote blocks serialize
+		// through the uplink at the steady shared gap.
+		cstart := float64(remote) * g.Wan.Alpha()
+		cwan := g.Wan.TransferShared(s*remote, m) - g.Wan.Alpha()
+		if t := clan + cstart + cwan; t > worst {
+			worst, lan, startup, wan = t, clan, cstart, cwan
+		}
+	}
+	return lan, startup, wan
+}
+
+// PredictFlat models the flat direct exchange: intra-cluster traffic
+// behaves per the local signature, every rank pays the WAN start-up for
+// each of its remote rounds, and the cluster's inter-cluster volume
+// crosses the shared uplink inflated by the fitted contention factor.
+func (g GridModel) PredictFlat(m int) float64 {
+	if g.TotalNodes() <= 1 {
+		return 0
+	}
+	gamma := g.Wan.Gamma
+	if gamma < 1 {
+		gamma = 1
+	}
+	lan, startup, wan := g.FlatParts(m)
+	return lan + startup + wan*gamma
+}
+
+// relay returns the coordinator-relay phase times (gather, exchange,
+// scatter), each the worst over clusters, for per-pair size m.
+func (g GridModel) relay(m int) (gather, xchg, scatter float64) {
+	n := g.TotalNodes()
+	for c, s := range g.Sizes {
+		remote := n - s
+		if remote == 0 {
+			continue
+		}
+		h := g.LAN[c].H
+		// Gather and scatter: s−1 local transfers of the rank's entire
+		// remote-bound volume, serialized at the coordinator's NIC.
+		if s > 1 {
+			t := float64(s-1) * (h.Alpha + float64(remote*m)*h.Beta)
+			if t > gather {
+				gather = t
+			}
+			if t > scatter {
+				scatter = t
+			}
+		}
+		// Exchange: one aggregated message per remote cluster, posted
+		// concurrently; per-flow curve limit vs aggregate wire limit.
+		maxPer, total := 0, 0
+		for d, sd := range g.Sizes {
+			if d != c {
+				b := s * sd * m
+				total += b
+				if b > maxPer {
+					maxPer = b
+				}
+			}
+		}
+		perFlow := g.Wan.Transfer(maxPer)
+		wire := g.Wan.Alpha() + float64(total)*g.Wan.BetaWire
+		t := perFlow
+		if wire > t {
+			t = wire
+		}
+		if t > xchg {
+			xchg = t
+		}
+	}
+	return gather, xchg, scatter
+}
+
+// HierGatherParts decomposes the sequential hierarchical algorithm: the
+// intra-cluster exchange, the WAN exchange leg, and the combined local
+// gather+scatter legs that GatherGamma multiplies (the synchronized
+// coordinator incast; planner calibration inverts this decomposition).
+func (g GridModel) HierGatherParts(m int) (intra, xchg, local float64) {
+	gather, xchg, scatter := g.relay(m)
+	return g.intra(m), xchg, gather + scatter
+}
+
+// PredictHierGather models the sequential hierarchical algorithm: the
+// intra-cluster exchange and the three relay phases run back to back.
+func (g GridModel) PredictHierGather(m int) float64 {
+	if g.TotalNodes() <= 1 {
+		return 0
+	}
+	kappa := g.GatherGamma
+	if kappa < 1 {
+		kappa = 1
+	}
+	intra, xchg, local := g.HierGatherParts(m)
+	return intra + xchg + local*kappa
+}
+
+// HierDirectParts decomposes the overlapped algorithm's prediction. Its
+// opening phase pushes the intra-cluster exchange and the gathers into
+// the LAN at once, so each cluster behaves like a local All-to-All with
+// the per-pair volume inflated to the rank's full outbound data,
+// (n−1)·m/(s−1) — the local contention signature then prices the
+// overlap, which is exactly what makes overlap a loss on high-γ
+// networks. The relay (exchange + scatter) follows, its WAN leg being
+// dependency-ordered behind the gathers; OverlapGamma multiplies that
+// leg (planner calibration inverts this decomposition to fit it).
+func (g GridModel) HierDirectParts(m int) (phase0, xchg, scatter float64) {
+	n := g.TotalNodes()
+	for c, s := range g.Sizes {
+		if s <= 1 {
+			continue
+		}
+		inflated := (n - 1) * m / (s - 1)
+		if t := g.LAN[c].Predict(s, inflated); t > phase0 {
+			phase0 = t
+		}
+	}
+	_, xchg, scatter = g.relay(m)
+	return phase0, xchg, scatter
+}
+
+// PredictHierDirect models the overlapped hierarchical algorithm.
+func (g GridModel) PredictHierDirect(m int) float64 {
+	n := g.TotalNodes()
+	if n <= 1 {
+		return 0
+	}
+	omega := g.OverlapGamma
+	if omega < 1 {
+		omega = 1
+	}
+	phase0, xchg, scatter := g.HierDirectParts(m)
+	return phase0 + xchg*omega + scatter
+}

@@ -1,0 +1,143 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func testWan() WANModel {
+	return WANModel{
+		Curve: []WANPoint{
+			{Bytes: 1 << 10, T: 0.020},
+			{Bytes: 64 << 10, T: 0.030},
+			{Bytes: 1 << 20, T: 0.180},
+		},
+		BetaWire: 8e-8,
+		Gamma:    3,
+	}
+}
+
+func TestWANTransferInterpolation(t *testing.T) {
+	w := testWan()
+	if got := w.Transfer(512); got != 0.020 {
+		t.Fatalf("below-curve transfer = %v, want clamp to first point", got)
+	}
+	mid := w.Transfer((1<<10 + 64<<10) / 2)
+	if mid <= 0.020 || mid >= 0.030 {
+		t.Fatalf("interpolated transfer %v outside segment", mid)
+	}
+	// Extrapolation continues with the terminal slope.
+	slope := w.BetaSteady()
+	want := 0.180 + slope*float64(1<<20)
+	if got := w.Transfer(2 << 20); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("extrapolated transfer = %v, want %v", got, want)
+	}
+	if w.Transfer(0) != 0 {
+		t.Fatal("zero bytes must cost zero")
+	}
+}
+
+func TestWANBetaSteadyFloorsAtWire(t *testing.T) {
+	w := testWan()
+	// Terminal curve slope here is ~1.56e-7 s/B, above the wire gap.
+	if got := w.BetaSteady(); got < w.BetaWire {
+		t.Fatalf("steady gap %v below wire gap %v", got, w.BetaWire)
+	}
+	w.BetaWire = 1e-5 // absurdly slow wire dominates
+	if got := w.BetaSteady(); got != 1e-5 {
+		t.Fatalf("steady gap %v, want wire floor", got)
+	}
+}
+
+func TestWANTransferShared(t *testing.T) {
+	w := testWan()
+	one := w.TransferShared(1, 64<<10)
+	if one != w.Transfer(64<<10) {
+		t.Fatalf("single flow shared = %v, want plain transfer %v", one, w.Transfer(64<<10))
+	}
+	// Many flows: the aggregate wire serialization must take over.
+	many := w.TransferShared(64, 64<<10)
+	wire := w.Alpha() + 64*float64(64<<10)*w.BetaWire
+	if many != wire {
+		t.Fatalf("64-flow shared = %v, want wire-limited %v", many, wire)
+	}
+	if many <= one {
+		t.Fatal("sharing must not be free")
+	}
+}
+
+func gridModelFixture() GridModel {
+	sig := Signature{H: Hockney{Alpha: 50e-6, Beta: 8e-9}, Gamma: 10, Delta: 0.04, M: 128 << 10}
+	return GridModel{
+		Sizes: []int{4, 4},
+		LAN:   []Signature{sig, sig},
+		Wan:   testWan(),
+	}
+}
+
+func TestGridModelValidate(t *testing.T) {
+	g := gridModelFixture()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := g
+	bad.Sizes = []int{4}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mismatched sizes must fail validation")
+	}
+	bad = g
+	bad.Sizes = []int{4, 0}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty cluster must fail validation")
+	}
+	if err := (GridModel{}).Validate(); err == nil {
+		t.Fatal("empty grid must fail validation")
+	}
+}
+
+func TestGridPredictionsPositiveAndOrdered(t *testing.T) {
+	g := gridModelFixture()
+	for _, m := range []int{4 << 10, 64 << 10, 512 << 10} {
+		flat := g.PredictFlat(m)
+		hg := g.PredictHierGather(m)
+		hd := g.PredictHierDirect(m)
+		if flat <= 0 || hg <= 0 || hd <= 0 {
+			t.Fatalf("m=%d: nonpositive predictions flat=%v hg=%v hd=%v", m, flat, hg, hd)
+		}
+		// The WAN exchange leg is common to both hierarchical variants;
+		// they differ only in how the LAN legs combine, so both must
+		// exceed the bare exchange time.
+		_, xchg, _ := g.relay(m)
+		if hg <= xchg || hd <= xchg {
+			t.Fatalf("m=%d: hierarchical predictions below their WAN leg", m)
+		}
+	}
+}
+
+func TestGridPredictFlatGammaScaling(t *testing.T) {
+	g := gridModelFixture()
+	lo := g.PredictFlat(64 << 10)
+	g.Wan.Gamma = 30
+	hi := g.PredictFlat(64 << 10)
+	if hi <= lo {
+		t.Fatalf("raising γ_wan must raise the flat prediction (%v -> %v)", lo, hi)
+	}
+	lan, startup, wan := g.FlatParts(64 << 10)
+	want := lan + startup + wan*30
+	if math.Abs(hi-want) > 1e-12 {
+		t.Fatalf("PredictFlat = %v, want decomposition %v", hi, want)
+	}
+}
+
+func TestGridSingleClusterDegeneratesToSignature(t *testing.T) {
+	sig := Signature{H: Hockney{Alpha: 50e-6, Beta: 8e-9}, Gamma: 2}
+	g := GridModel{Sizes: []int{6}, LAN: []Signature{sig}, Wan: testWan()}
+	m := 32 << 10
+	want := sig.Predict(6, m)
+	if got := g.PredictFlat(m); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("single-cluster flat = %v, want pure signature %v", got, want)
+	}
+	if got := g.PredictHierGather(m); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("single-cluster hier-gather = %v, want pure signature %v", got, want)
+	}
+}

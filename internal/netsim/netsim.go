@@ -75,13 +75,16 @@ func (n *Network) Sim() *sim.Simulator { return n.sim }
 // Device is a network element: either a host (traffic endpoint) or a
 // switch (forwarder). Hosts are devices whose host field is non-nil.
 type Device struct {
-	net    *Network
-	name   string
-	id     NodeID // valid only for hosts
-	isHost bool
-	cfg    SwitchConfig
-	egr    []*egress
-	routes map[NodeID]*egress
+	net      *Network
+	name     string
+	id       NodeID // valid only for hosts
+	isHost   bool
+	isRouter bool
+	cfg      SwitchConfig
+	// Router-only per-packet forwarding delay (see RouterConfig).
+	procDelay sim.Time
+	egr       []*egress
+	routes    map[NodeID]*egress
 
 	// Host-only: transport demultiplexer, set via SetHandler.
 	handler func(pkt *Packet)
@@ -269,11 +272,7 @@ func (d *Device) arrive(pkt *Packet) {
 		d.deliver(pkt)
 		return
 	}
-	e := d.routes[pkt.Dst]
-	if e == nil {
-		panic(fmt.Sprintf("netsim: switch %s has no route to host %d", d.name, pkt.Dst))
-	}
-	e.enqueue(pkt)
+	d.forward(pkt)
 }
 
 // TxBacklogBytes returns the bytes currently queued on a host's NIC

@@ -1,0 +1,92 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Router support. A router is a store-and-forward forwarding device like
+// a switch, with two differences that matter for wide-area topologies:
+//
+//   - Per-port queueing: each egress carries its own buffer size and
+//     loss discipline instead of one switch-wide configuration, so a
+//     router can face a deep-buffered campus LAN on one port and a
+//     shallow, lossy WAN uplink on another.
+//   - A per-packet forwarding delay (route lookup / header processing),
+//     modeled as a pipeline stage: every packet is delayed by ProcDelay
+//     between arrival and enqueue on the output port, without limiting
+//     throughput. Delivery order between arrival and forwarding is
+//     preserved because simulator events with equal timestamps fire in
+//     schedule order.
+//
+// Routers let topologies grow beyond the two-level leaf/core tree:
+// multiple switch fabrics (clusters) joined by high-latency, limited-rate
+// WAN links, rings or meshes of points of presence, and so on. Routing
+// still comes from ComputeRoutes, which is topology-agnostic.
+
+// RouterConfig describes a router's forwarding engine.
+type RouterConfig struct {
+	// ProcDelay is the per-packet forwarding latency (route lookup and
+	// header processing). Zero means wire-speed forwarding.
+	ProcDelay sim.Time
+}
+
+// PortConfig describes the queueing discipline of one router port
+// (applied to the egress in the direction away from the router).
+type PortConfig struct {
+	Buffer   int  // bytes of output buffer; 0 = unbounded
+	Lossless bool // true: credit backpressure; false: tail-drop
+}
+
+// AddRouter creates a router device.
+func (n *Network) AddRouter(name string, cfg RouterConfig) *Device {
+	d := &Device{net: n, name: name, isRouter: true, procDelay: cfg.ProcDelay}
+	n.devices = append(n.devices, d)
+	return d
+}
+
+// ConnectPorts joins two devices with a full-duplex link whose two
+// directions may differ, and assigns explicit per-port queue configs: pa
+// governs the a→b egress, pb the b→a egress. It is the general form of
+// Connect, intended for router ports (WAN uplinks with their own buffer
+// and loss discipline); either endpoint may nevertheless be any device
+// kind.
+func (n *Network) ConnectPorts(a, b *Device, ab, ba LinkConfig, pa, pb PortConfig) {
+	n.connectDirPort(a, b, ab, pa)
+	n.connectDirPort(b, a, ba, pb)
+}
+
+// connectDirPort creates the a→b egress on device a with an explicit
+// port queue configuration.
+func (n *Network) connectDirPort(a, b *Device, cfg LinkConfig, port PortConfig) {
+	e := &egress{
+		sim:  n.sim,
+		name: fmt.Sprintf("%s->%s", a.name, b.name),
+		rate: cfg.Rate, latency: cfg.Latency,
+		owner: a, peer: b,
+	}
+	if a.isHost {
+		// Host NICs keep their unbounded queue; they only join the
+		// credit protocol when feeding a lossless port.
+		e.lossless = port.Lossless
+	} else {
+		e.capBytes = port.Buffer
+		e.lossless = port.Lossless
+	}
+	a.egr = append(a.egr, e)
+}
+
+// forward routes a packet that arrived at a forwarding device (switch or
+// router) to its next hop, applying the router processing delay.
+func (d *Device) forward(pkt *Packet) {
+	e := d.routes[pkt.Dst]
+	if e == nil {
+		panic(fmt.Sprintf("netsim: %s has no route to host %d", d.name, pkt.Dst))
+	}
+	if d.procDelay > 0 {
+		d.net.sim.After(d.procDelay, func() { e.enqueue(pkt) })
+		return
+	}
+	e.enqueue(pkt)
+}

@@ -1,0 +1,133 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// buildTwoClusterNet wires two star fabrics joined by routers over a WAN
+// link: hosts 0..a-1 under swA, hosts a..a+b-1 under swB,
+// swA—rA—(WAN)—rB—swB. Returns the network.
+func buildTwoClusterNet(s *sim.Simulator, a, b, wanBuf int, wanRate int64, wanLat, proc sim.Time) *Network {
+	n := New(s)
+	lan := LinkConfig{Rate: 12_500_000, Latency: 20 * sim.Microsecond}
+	swA := n.AddSwitch("swA", SwitchConfig{PortBuffer: 256 << 10})
+	swB := n.AddSwitch("swB", SwitchConfig{PortBuffer: 256 << 10})
+	for i := 0; i < a; i++ {
+		n.Connect(n.AddHost("a"), swA, lan)
+	}
+	for i := 0; i < b; i++ {
+		n.Connect(n.AddHost("b"), swB, lan)
+	}
+	rA := n.AddRouter("rA", RouterConfig{ProcDelay: proc})
+	rB := n.AddRouter("rB", RouterConfig{ProcDelay: proc})
+	edge := PortConfig{Buffer: 512 << 10}
+	n.ConnectPorts(swA, rA, lan, lan, PortConfig{Buffer: 256 << 10}, edge)
+	n.ConnectPorts(swB, rB, lan, lan, PortConfig{Buffer: 256 << 10}, edge)
+	wan := LinkConfig{Rate: wanRate, Latency: wanLat}
+	n.ConnectPorts(rA, rB, wan, wan, PortConfig{Buffer: wanBuf}, PortConfig{Buffer: wanBuf})
+	n.ComputeRoutes()
+	return n
+}
+
+// TestRouterFlowOrderingProperty: across random two-cluster topologies
+// with a congested WAN uplink, packets of the same flow are delivered in
+// injection order (drops may thin a flow but never reorder it).
+func TestRouterFlowOrderingProperty(t *testing.T) {
+	prop := func(seed int64, a8, b8, pkts8, buf8 uint8) bool {
+		a := int(a8%4) + 1
+		b := int(b8%4) + 1
+		pkts := int(pkts8%96) + 8
+		wanBuf := (int(buf8%8) + 2) * 1500
+		s := sim.New(seed)
+		n := buildTwoClusterNet(s, a, b, wanBuf, 1_250_000, 10*sim.Millisecond, 50*sim.Microsecond)
+		hosts := a + b
+		lastSeq := map[uint64]int64{}
+		ok := true
+		for i := 0; i < hosts; i++ {
+			n.Host(NodeID(i)).SetHandler(func(pkt *Packet) {
+				if last, seen := lastSeq[pkt.Flow]; seen && pkt.Seq <= last {
+					ok = false
+				}
+				lastSeq[pkt.Flow] = pkt.Seq
+			})
+		}
+		rng := s.Rand()
+		seqs := map[uint64]int64{}
+		for k := 0; k < pkts; k++ {
+			src := rng.Intn(hosts)
+			dst := rng.Intn(hosts - 1)
+			if dst >= src {
+				dst++
+			}
+			flow := uint64(src)<<32 | uint64(dst)
+			seqs[flow]++
+			n.Inject(&Packet{
+				Src: NodeID(src), Dst: NodeID(dst), Flow: flow,
+				Seq: seqs[flow], Size: 200 + rng.Intn(1300),
+			})
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRouterConservation: packets crossing the WAN are delivered or
+// counted as dropped, never duplicated or lost silently.
+func TestRouterConservation(t *testing.T) {
+	s := sim.New(7)
+	n := buildTwoClusterNet(s, 3, 3, 6000, 1_250_000, 20*sim.Millisecond, 0)
+	delivered := 0
+	for i := 0; i < 6; i++ {
+		n.Host(NodeID(i)).SetHandler(func(pkt *Packet) { delivered++ })
+	}
+	injected := 0
+	for k := 0; k < 200; k++ {
+		src := k % 3       // cluster A
+		dst := 3 + (k % 3) // cluster B
+		n.Inject(&Packet{Src: NodeID(src), Dst: NodeID(dst), Size: 1500})
+		injected++
+	}
+	s.Run()
+	if delivered+int(n.Drops()) != injected {
+		t.Fatalf("conservation violated: delivered %d + drops %d != injected %d",
+			delivered, n.Drops(), injected)
+	}
+	if n.Drops() == 0 {
+		t.Fatal("expected WAN tail drops under this load")
+	}
+}
+
+// TestRouterWANLatencyBound: a single packet crossing the WAN can never
+// arrive before the sum of serializations, propagation delays and the
+// two router processing delays along its 5-hop path.
+func TestRouterWANLatencyBound(t *testing.T) {
+	const (
+		lanRate = int64(12_500_000)
+		wanRate = int64(1_250_000)
+		proc    = 100 * sim.Microsecond
+		wanLat  = 25 * sim.Millisecond
+	)
+	s := sim.New(1)
+	n := buildTwoClusterNet(s, 1, 1, 1<<20, wanRate, wanLat, proc)
+	var at sim.Time
+	arrived := false
+	n.Host(1).SetHandler(func(pkt *Packet) { at, arrived = s.Now(), true })
+	const size = 1500
+	n.Inject(&Packet{Src: 0, Dst: 1, Size: size})
+	s.Run()
+	if !arrived {
+		t.Fatal("packet not delivered across the WAN")
+	}
+	lanHop := sim.TransmitTime(size, lanRate) + 20*sim.Microsecond
+	wanHop := sim.TransmitTime(size, wanRate) + wanLat
+	bound := 4*lanHop + wanHop + 2*proc
+	if at < bound {
+		t.Fatalf("delivered at %v, before physical bound %v", at, bound)
+	}
+}
