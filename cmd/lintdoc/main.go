@@ -1,0 +1,141 @@
+// lintdoc is the repository's godoc lint: it fails when a package in
+// the given directories misses its package comment or exports an
+// identifier (type, function, method, var, const) without a doc
+// comment. CI runs it over the core packages so the documented-API
+// guarantee of docs/ARCHITECTURE.md stays enforced, with no external
+// linter dependency.
+//
+// Usage:
+//
+//	go run ./cmd/lintdoc internal/grid internal/coll internal/model internal/netsim
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: lintdoc <package-dir>...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		bad += lintDir(dir)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "lintdoc: %d undocumented exported identifier(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintDir checks one package directory and returns the number of
+// missing doc comments, printing one line per finding.
+func lintDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lintdoc: %s: %v\n", dir, err)
+		return 1
+	}
+	bad := 0
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		fmt.Printf("%s:%d: %s\n", filepath.ToSlash(p.Filename), p.Line, fmt.Sprintf(format, args...))
+		bad++
+	}
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			fmt.Printf("%s: package %s has no package comment\n", filepath.ToSlash(dir), pkg.Name)
+			bad++
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || !receiverExported(d) {
+						continue
+					}
+					if d.Doc == nil || len(strings.TrimSpace(d.Doc.Text())) == 0 {
+						report(d.Pos(), "exported %s %s has no doc comment", declKind(d), d.Name.Name)
+					}
+				case *ast.GenDecl:
+					lintGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return bad
+}
+
+// declKind names a FuncDecl for messages: method or function.
+func declKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// receiverExported reports whether a declaration is a plain function or
+// a method on an exported receiver type — methods of unexported types
+// are not part of the package API and need no doc comment.
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	ident, ok := t.(*ast.Ident)
+	return !ok || ident.IsExported()
+}
+
+// lintGenDecl checks exported specs of a const/var/type declaration.
+// A doc comment on the grouped declaration covers every spec in it.
+func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string, ...any)) {
+	groupDoc := d.Doc != nil && len(strings.TrimSpace(d.Doc.Text())) > 0
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if !groupDoc && (s.Doc == nil || len(strings.TrimSpace(s.Doc.Text())) == 0) {
+				report(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			var exported []string
+			for _, n := range s.Names {
+				if n.IsExported() {
+					exported = append(exported, n.Name)
+				}
+			}
+			if len(exported) == 0 {
+				continue
+			}
+			specDoc := (s.Doc != nil && len(strings.TrimSpace(s.Doc.Text())) > 0) ||
+				(s.Comment != nil && len(strings.TrimSpace(s.Comment.Text())) > 0)
+			if !groupDoc && !specDoc {
+				report(s.Pos(), "exported %s %s has no doc comment", d.Tok, strings.Join(exported, ", "))
+			}
+		}
+	}
+}

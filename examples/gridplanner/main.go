@@ -1,54 +1,71 @@
 // gridplanner shows the downstream use case the paper motivates
 // (application performance prediction frameworks, grid-aware collective
-// optimization à la LaPIe/MagPIe), extended to multi-cluster grids:
-// given candidate grid deployments, characterize each once — per-cluster
-// contention signatures plus the WAN term — then, for an
-// All-to-All-dominated workload, let the planner pick the best exchange
-// strategy per deployment and choose the cheapest deployment meeting a
-// deadline, all without running the workload.
+// optimization à la LaPIe/MagPIe), extended to multi-level grids:
+// given candidate deployments — flat two-level grids and a 3-level
+// campus → national → continental topology — characterize each once
+// (per-cluster contention signatures plus one empirical WAN term per
+// tier), then, for an All-to-All-dominated workload, let the planner
+// pick the best exchange strategy per deployment and choose the
+// cheapest deployment meeting a deadline, all without running the
+// workload.
 package main
 
 import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/coll"
 	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/sim"
 )
 
 // candidate is a grid we could rent, with a per-node-hour cost.
 type candidate struct {
-	name        string
+	topo        cluster.TopoNode
 	nodeCostEUR float64
 }
 
 func main() {
 	// Workload: an iterative solver doing 30 All-to-All exchanges of
-	// 48 kB per pair per iteration; deadline 30 s of communication.
+	// 48 kB per pair per iteration; deadline 60 s of communication.
 	const (
 		exchanges = 30
 		msgSize   = 48 << 10
-		deadline  = 30.0
+		deadline  = 60.0
 	)
 
+	// Two flat two-level grids from the canonical catalogue, and one
+	// explicit 3-level tree: two nations of two Gigabit Ethernet
+	// campuses each, 10 ms metro links inside a nation, a 40 ms
+	// continental mesh between nations.
+	fe2, err := cluster.GridByName("fe2-wan20")
+	if err != nil {
+		panic(err)
+	}
+	mixed, err := cluster.GridByName("mixed-wan30")
+	if err != nil {
+		panic(err)
+	}
+	ge := cluster.WANTuned(cluster.GigabitEthernet()) // long-fat-pipe tuning
+	threeLvl := cluster.ThreeLevel("ge-2x2x3", ge, 2, 2, 3,
+		cluster.DefaultWAN(10*sim.Millisecond), cluster.DefaultWAN(40*sim.Millisecond))
+
 	cands := []candidate{
-		{name: "fe2-wan20", nodeCostEUR: 0.05},
-		{name: "ge3-wan50", nodeCostEUR: 0.12},
-		{name: "mixed-wan30", nodeCostEUR: 0.08},
+		{topo: fe2.Tree(), nodeCostEUR: 0.05},
+		{topo: mixed.Tree(), nodeCostEUR: 0.08},
+		{topo: threeLvl, nodeCostEUR: 0.11},
 	}
 
 	fmt.Printf("workload: %d exchanges of %d B per pair, deadline %.0fs\n\n", exchanges, msgSize, deadline)
-	fmt.Printf("%-12s %6s %12s %13s %10s %9s\n",
-		"grid", "nodes", "best_strat", "comm_time_s", "meets_dl", "cost_EUR/h")
+	fmt.Printf("%-12s %6s %6s %12s %13s %10s %9s\n",
+		"grid", "levels", "nodes", "best_strat", "comm_time_s", "meets_dl", "cost_EUR/h")
 
 	bestCost, bestDesc := -1.0, ""
 	for _, c := range cands {
-		gp, err := cluster.GridByName(c.name)
-		if err != nil {
-			panic(err)
-		}
-		// Characterize each member network and the WAN once; the model
-		// then predicts any message size on this grid.
-		pl, err := grid.NewPlanner(gp, grid.Options{FitN: 6, Reps: 1})
+		// Characterize each member network and each WAN tier once; the
+		// model then predicts any message size on this topology.
+		pl, err := grid.NewPlanner(c.topo, grid.Options{FitN: 6, Reps: 1})
 		if err != nil {
 			panic(err)
 		}
@@ -56,16 +73,16 @@ func main() {
 		best := preds[0]
 		t := float64(exchanges) * best.T
 		meets := t <= deadline
-		nodes := gp.TotalNodes()
+		nodes := c.topo.TotalNodes()
 		cost := float64(nodes) * c.nodeCostEUR
-		fmt.Printf("%-12s %6d %12s %13.1f %10v %9.2f\n",
-			c.name, nodes, best.Strategy, t, meets, cost)
+		fmt.Printf("%-12s %6d %6d %12s %13.1f %10v %9.2f\n",
+			c.topo.Name, c.topo.Height()+1, nodes, best.Strategy, t, meets, cost)
 		for _, pr := range preds {
 			fmt.Printf("%-12s        · %-12s %10.1f\n", "", pr.Strategy, float64(exchanges)*pr.T)
 		}
 		if meets && (bestCost < 0 || cost < bestCost) {
 			bestCost = cost
-			bestDesc = fmt.Sprintf("%s via %s", c.name, best.Strategy)
+			bestDesc = fmt.Sprintf("%s via %s", c.topo.Name, best.Strategy)
 		}
 	}
 	if bestCost >= 0 {
@@ -73,4 +90,21 @@ func main() {
 	} else {
 		fmt.Println("\nno candidate meets the deadline")
 	}
+
+	// Under the hood: build the 3-level topology, compile the recursive
+	// hierarchical plan, and run one exchange on the mpi runtime — the
+	// code path the planner's predictions stand in for.
+	g, err := cluster.BuildGridTree(threeLvl, 1)
+	if err != nil {
+		panic(err)
+	}
+	plan := coll.PlanHierTree(coll.GridSpec(g), coll.HierGather)
+	fmt.Printf("\n%s plan on %s: %d ranks, %d phases, %d messages (%d cross-cluster)\n",
+		plan.Alg, threeLvl.Name, plan.Place.NumRanks(), plan.NumPhases(),
+		plan.NumMessages(), plan.CrossLeafMessages())
+	w := mpi.NewWorld(g.Env, mpi.Config{})
+	meas := coll.Measure(w, 1, 1, func(r *mpi.Rank) {
+		coll.AlltoallHierPlanned(r, plan, msgSize)
+	})
+	fmt.Printf("one simulated exchange at %d B per pair: %.2fs\n", msgSize, meas.Mean())
 }

@@ -80,9 +80,10 @@ func Uniform(name string, p Profile, clusters, nodesPer int, wan WANConfig) Grid
 	return gp
 }
 
-// wanTuned widens a profile's TCP receive window for long-fat WAN pipes
+// WANTuned widens a profile's TCP receive window for long-fat WAN pipes
 // (the real-world "window scaling" tuning a grid deployment would apply).
-func wanTuned(p Profile) Profile {
+// Every canonical grid environment and grid-facing example uses it.
+func WANTuned(p Profile) Profile {
 	p.TCP.RcvWindow = 256 << 10
 	return p
 }
@@ -90,8 +91,8 @@ func wanTuned(p Profile) Profile {
 // GridProfiles returns canonical grid environments keyed by name:
 // the paper's platforms composed over 10–100 ms WANs.
 func GridProfiles() map[string]GridProfile {
-	fe := wanTuned(FastEthernet())
-	ge := wanTuned(GigabitEthernet())
+	fe := WANTuned(FastEthernet())
+	ge := WANTuned(GigabitEthernet())
 	out := map[string]GridProfile{}
 	for _, gp := range []GridProfile{
 		Uniform("fe2-wan20", fe, 2, 8, DefaultWAN(20*sim.Millisecond)),
@@ -124,67 +125,145 @@ func GridByName(name string) (GridProfile, error) {
 	return gp, nil
 }
 
-// Grid is a built multi-cluster environment. Env carries the shared
+// Grid is a built multi-level grid environment. Env carries the shared
 // simulator, network and full-mesh transport fabric over every host of
-// every member, so mpi.NewWorld works on a grid exactly as on a single
-// cluster.
+// every leaf cluster, so mpi.NewWorld works on a grid exactly as on a
+// single cluster.
 type Grid struct {
-	Profile   GridProfile
-	Env       *Cluster
-	ClusterOf []int   // host/rank id → member index
-	Members   [][]int // member index → host/rank ids (contiguous)
-	Routers   []*netsim.Device
+	// Tree is the topology the grid was built from.
+	Tree TopoNode
+	// Env is the shared environment (simulator, network, fabric).
+	Env *Cluster
+	// ClusterOf maps host/rank id → leaf index (tree order).
+	ClusterOf []int
+	// Members maps leaf index → host/rank ids (contiguous).
+	Members [][]int
+	// Routers holds each leaf cluster's border router, in leaf order.
+	Routers []*netsim.Device
 }
 
-// BuildGrid instantiates a grid profile. Host NodeIDs (and therefore MPI
-// ranks) are assigned contiguously cluster by cluster.
+// BuildGrid instantiates a flat two-level grid profile. It is sugar for
+// BuildGridTree over GridProfile.Tree: one recursive build path
+// constructs every grid.
 func BuildGrid(gp GridProfile, seed int64) (*Grid, error) {
 	if len(gp.Members) == 0 {
 		return nil, fmt.Errorf("cluster: grid %q has no members", gp.Name)
 	}
-	kind := gp.Members[0].Profile.Kind
-	if kind != transport.TCP {
+	return BuildGridTree(gp.Tree(), seed)
+}
+
+// treeBuilder carries shared state across the recursive grid build.
+type treeBuilder struct {
+	nw    *netsim.Network
+	g     *Grid
+	hosts []*netsim.Device   // all hosts, rank order
+	perLf [][]*netsim.Device // hosts per leaf
+	gwLf  []*netsim.Device   // border router per leaf
+	leafI int                // leaf cursor during wiring
+}
+
+// BuildGridTree instantiates a multi-level grid topology. Host NodeIDs
+// (and therefore MPI ranks) are assigned contiguously leaf by leaf in
+// tree order. Each leaf gets a border router on its parent tier; each
+// group tier joins its children's gateways either in a full mesh or in
+// a star through a tier backbone router, and exposes one gateway (the
+// first child's for a mesh, the backbone for a star) to the tier above.
+func BuildGridTree(root TopoNode, seed int64) (*Grid, error) {
+	if err := root.Validate(); err != nil {
+		return nil, err
+	}
+	leaves := root.Leaves()
+	kind := leaves[0].Profile.Kind
+	if !root.IsLeaf() && kind != transport.TCP {
 		// WAN ports are tail-drop; a transport without retransmission
 		// (GM relies on a lossless fabric) would hang on the first
 		// dropped segment.
-		return nil, fmt.Errorf("cluster: grid %q needs a retransmitting transport, got %v", gp.Name, kind)
+		return nil, fmt.Errorf("cluster: grid %q needs a retransmitting transport, got %v", root.Name, kind)
 	}
-	for _, m := range gp.Members {
-		if m.Nodes < 1 {
-			return nil, fmt.Errorf("cluster: grid %q member %q has %d nodes", gp.Name, m.Profile.Name, m.Nodes)
-		}
-		if m.Profile.Kind != kind {
+	for _, lf := range leaves {
+		if lf.Profile.Kind != kind {
 			return nil, fmt.Errorf("cluster: grid %q mixes transport kinds %v and %v",
-				gp.Name, kind, m.Profile.Kind)
+				root.Name, kind, lf.Profile.Kind)
 		}
 	}
 
 	s := sim.New(seed)
-	nw := netsim.New(s)
-	g := &Grid{Profile: gp}
+	b := &treeBuilder{nw: netsim.New(s), g: &Grid{Tree: root}}
 
-	// Hosts first, cluster by cluster, so NodeIDs are dense and grouped.
-	perCluster := make([][]*netsim.Device, len(gp.Members))
-	var hosts []*netsim.Device
-	for c, m := range gp.Members {
-		ids := make([]int, m.Nodes)
-		perCluster[c] = make([]*netsim.Device, m.Nodes)
-		for i := 0; i < m.Nodes; i++ {
-			h := nw.AddHost(fmt.Sprintf("c%d.%s-n%d", c, m.Profile.Name, i))
-			perCluster[c][i] = h
-			ids[i] = len(hosts)
-			hosts = append(hosts, h)
-			g.ClusterOf = append(g.ClusterOf, c)
+	// Hosts first, leaf by leaf, so NodeIDs are dense and grouped.
+	for c, lf := range leaves {
+		ids := make([]int, lf.Nodes)
+		devs := make([]*netsim.Device, lf.Nodes)
+		for i := 0; i < lf.Nodes; i++ {
+			h := b.nw.AddHost(fmt.Sprintf("%s%s-n%d", leafPrefix(root, c), lf.Profile.Name, i))
+			devs[i] = h
+			ids[i] = len(b.hosts)
+			b.hosts = append(b.hosts, h)
+			b.g.ClusterOf = append(b.g.ClusterOf, c)
 		}
-		g.Members = append(g.Members, ids)
+		b.perLf = append(b.perLf, devs)
+		b.g.Members = append(b.g.Members, ids)
 	}
 
-	// Intra-cluster fabrics plus one border router per cluster.
-	routerLAN := netsim.PortConfig{Buffer: 1 << 20}
-	for c, m := range gp.Members {
-		p := m.Profile
-		attach := buildLAN(nw, p, perCluster[c], fmt.Sprintf("c%d.", c))
-		gw := nw.AddRouter(fmt.Sprintf("c%d.gw", c), netsim.RouterConfig{ProcDelay: gp.WAN.ProcDelay})
+	// Intra-cluster fabrics plus per-level WAN wiring.
+	if root.IsLeaf() {
+		buildLAN(b.nw, root.Profile, b.perLf[0], "")
+	} else {
+		b.wire(root, "", nil)
+	}
+	b.nw.ComputeRoutes()
+
+	// Every host keeps one connection per remote rank, grid-wide.
+	total := len(b.hosts)
+	for c, lf := range leaves {
+		applyRxCost(lf.Profile, b.perLf[c], total)
+	}
+
+	first := leaves[0].Profile
+	fab := transport.NewFabric(b.nw, b.hosts, transport.FabricConfig{Kind: kind, TCP: first.TCP, GM: first.GM})
+	b.g.Routers = b.gwLf
+	b.g.Env = &Cluster{
+		Profile: Profile{Name: root.Name, Kind: kind, TCP: first.TCP, GM: first.GM},
+		Sim:     s, Net: b.nw, Hosts: b.hosts, Fabric: fab,
+	}
+	return b.g, nil
+}
+
+// leafPrefix names the leaf at index li by its path of child indices
+// ("c0.", or "c1.c0." at depth 2), matching the wiring prefixes.
+func leafPrefix(root TopoNode, li int) string {
+	prefix, n := "", 0
+	var walk func(t TopoNode, p string) bool
+	walk = func(t TopoNode, p string) bool {
+		if t.IsLeaf() {
+			if n == li {
+				prefix = p
+				return true
+			}
+			n++
+			return false
+		}
+		for i, c := range t.Children {
+			if walk(c, fmt.Sprintf("%sc%d.", p, i)) {
+				return true
+			}
+		}
+		return false
+	}
+	walk(root, "")
+	return prefix
+}
+
+// wire recursively builds the subtree rooted at t (a group when called
+// with children, a leaf otherwise) and returns its upward gateway. wan
+// is the WAN tier the subtree's gateway faces (its parent group's), nil
+// for the root.
+func (b *treeBuilder) wire(t TopoNode, prefix string, wan *WANConfig) *netsim.Device {
+	if t.IsLeaf() {
+		p := t.Profile
+		attach := buildLAN(b.nw, p, b.perLf[b.leafI], prefix)
+		b.leafI++
+		gw := b.nw.AddRouter(prefix+"gw", netsim.RouterConfig{ProcDelay: wan.ProcDelay})
 		accessRate, accessLat := p.UplinkRate, p.UplinkLatency
 		if accessRate == 0 {
 			accessRate, accessLat = p.LinkRate, p.LinkLatency
@@ -194,39 +273,35 @@ func BuildGrid(gp GridProfile, seed int64) (*Grid, error) {
 		if attachBuf == 0 {
 			attachBuf = p.PortBuffer
 		}
-		nw.ConnectPorts(attach, gw, access, access,
-			netsim.PortConfig{Buffer: attachBuf, Lossless: p.Lossless}, routerLAN)
-		g.Routers = append(g.Routers, gw)
+		b.nw.ConnectPorts(attach, gw, access, access,
+			netsim.PortConfig{Buffer: attachBuf, Lossless: p.Lossless},
+			netsim.PortConfig{Buffer: 1 << 20})
+		b.gwLf = append(b.gwLf, gw)
+		return gw
 	}
 
-	// Wide-area peering: full mesh, or a star through a backbone router.
-	wanLink := netsim.LinkConfig{Rate: gp.WAN.Rate, Latency: gp.WAN.Latency}
-	wanPort := netsim.PortConfig{Buffer: gp.WAN.PortBuffer}
-	if gp.WAN.Mesh {
-		for i := 0; i < len(g.Routers); i++ {
-			for j := i + 1; j < len(g.Routers); j++ {
-				nw.ConnectPorts(g.Routers[i], g.Routers[j], wanLink, wanLink, wanPort, wanPort)
+	// Children first (leaves claim their gateways in leaf order), then
+	// this tier's wide-area peering: full mesh, or a star through a
+	// tier backbone router.
+	gws := make([]*netsim.Device, len(t.Children))
+	for i, c := range t.Children {
+		gws[i] = b.wire(c, fmt.Sprintf("%sc%d.", prefix, i), &t.WAN)
+	}
+	wanLink := netsim.LinkConfig{Rate: t.WAN.Rate, Latency: t.WAN.Latency}
+	wanPort := netsim.PortConfig{Buffer: t.WAN.PortBuffer}
+	if t.WAN.Mesh {
+		for i := 0; i < len(gws); i++ {
+			for j := i + 1; j < len(gws); j++ {
+				b.nw.ConnectPorts(gws[i], gws[j], wanLink, wanLink, wanPort, wanPort)
 			}
 		}
-	} else {
-		bb := nw.AddRouter("wan.bb", netsim.RouterConfig{ProcDelay: gp.WAN.ProcDelay})
-		for _, r := range g.Routers {
-			nw.ConnectPorts(r, bb, wanLink, wanLink, wanPort, wanPort)
-		}
+		// The first child's gateway fronts the subtree on the tier
+		// above — one site hosts the inter-tier uplink.
+		return gws[0]
 	}
-	nw.ComputeRoutes()
-
-	// Every host keeps one connection per remote rank, grid-wide.
-	total := len(hosts)
-	for c, m := range gp.Members {
-		applyRxCost(m.Profile, perCluster[c], total)
+	bb := b.nw.AddRouter(prefix+"wan.bb", netsim.RouterConfig{ProcDelay: t.WAN.ProcDelay})
+	for _, gw := range gws {
+		b.nw.ConnectPorts(gw, bb, wanLink, wanLink, wanPort, wanPort)
 	}
-
-	first := gp.Members[0].Profile
-	fab := transport.NewFabric(nw, hosts, transport.FabricConfig{Kind: kind, TCP: first.TCP, GM: first.GM})
-	g.Env = &Cluster{
-		Profile: Profile{Name: gp.Name, Kind: kind, TCP: first.TCP, GM: first.GM},
-		Sim:     s, Net: nw, Hosts: hosts, Fabric: fab,
-	}
-	return g, nil
+	return bb
 }

@@ -35,6 +35,99 @@ func TestGridProfilesBuild(t *testing.T) {
 	}
 }
 
+func TestGridTreesBuild(t *testing.T) {
+	for name, tree := range GridTrees() {
+		g, err := BuildGridTree(tree, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := len(g.Env.Hosts); got != tree.TotalNodes() {
+			t.Fatalf("%s: %d hosts, want %d", name, got, tree.TotalNodes())
+		}
+		if len(g.Members) != tree.NumLeaves() {
+			t.Fatalf("%s: %d member lists, want %d leaves", name, len(g.Members), tree.NumLeaves())
+		}
+		if len(g.Routers) != tree.NumLeaves() {
+			t.Fatalf("%s: %d border routers, want %d", name, len(g.Routers), tree.NumLeaves())
+		}
+		seen := 0
+		for c, ids := range g.Members {
+			for _, id := range ids {
+				if g.ClusterOf[id] != c {
+					t.Fatalf("%s: ClusterOf[%d]=%d, want %d", name, id, g.ClusterOf[id], c)
+				}
+				seen++
+			}
+		}
+		if seen != tree.TotalNodes() {
+			t.Fatalf("%s: member lists cover %d ranks, want %d", name, seen, tree.TotalNodes())
+		}
+	}
+}
+
+// TestBuildGridTreeSingleLeaf: a depth-0 tree is a plain cluster — no
+// WAN, so even non-retransmitting transports build.
+func TestBuildGridTreeSingleLeaf(t *testing.T) {
+	g, err := BuildGridTree(Leaf(Myrinet(), 4), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Env.Hosts) != 4 || len(g.Members) != 1 || len(g.Routers) != 0 {
+		t.Fatalf("single-leaf grid built %d hosts / %d leaves / %d routers",
+			len(g.Env.Hosts), len(g.Members), len(g.Routers))
+	}
+}
+
+// TestThreeLevelCrossTierLatency: a message between nations must cross
+// one campus hop on each side plus the continental tier, so it cannot
+// arrive before the summed one-way propagation delays.
+func TestThreeLevelCrossTierLatency(t *testing.T) {
+	low, high := 10*sim.Millisecond, 50*sim.Millisecond
+	tree := ThreeLevel("t3", WANTuned(GigabitEthernet()), 2, 2, 2,
+		DefaultWAN(low), DefaultWAN(high))
+	g, err := BuildGridTree(tree, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leaf order: n0c0, n0c1, n1c0, n1c1. Source in n0c1, destination in
+	// n1c1: the mesh gateways sit at each nation's first campus, so the
+	// path crosses campus links twice and the continental link once.
+	src, dst := g.Members[1][0], g.Members[3][0]
+	var at sim.Time
+	arrived := false
+	g.Env.Fabric.Conn(dst, src).SetHandler(func(m transport.Message) {
+		at, arrived = g.Env.Sim.Now(), true
+	})
+	g.Env.Fabric.Conn(src, dst).Send(transport.Message{Kind: 1, Size: 1024})
+	g.Env.Sim.Run()
+	if !arrived {
+		t.Fatal("cross-nation message not delivered")
+	}
+	if want := 2*low + high; at < want {
+		t.Fatalf("delivered at %v, before the %v three-tier path", at, want)
+	}
+	// Intra-nation, cross-campus: one campus hop only — faster than any
+	// continental crossing. Fresh build, so the clock starts at zero.
+	g, err = BuildGridTree(tree, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2, dst2 := g.Members[0][0], g.Members[1][1]
+	var at2 sim.Time
+	arrived = false
+	g.Env.Fabric.Conn(dst2, src2).SetHandler(func(m transport.Message) {
+		at2, arrived = g.Env.Sim.Now(), true
+	})
+	g.Env.Fabric.Conn(src2, dst2).Send(transport.Message{Kind: 1, Size: 1024})
+	g.Env.Sim.Run()
+	if !arrived {
+		t.Fatal("cross-campus message not delivered")
+	}
+	if at2 < low || at2 >= high {
+		t.Fatalf("cross-campus delivery at %v, want within [%v, %v)", at2, low, high)
+	}
+}
+
 func TestGridRejectsMixedTransportKinds(t *testing.T) {
 	gp := GridProfile{
 		Name: "bad",
@@ -91,7 +184,7 @@ func TestGridStarCrossesTwoWANLinks(t *testing.T) {
 // delay allows.
 func TestGridCrossClusterTransfer(t *testing.T) {
 	wanLat := 15 * sim.Millisecond
-	gp := Uniform("t2", wanTuned(GigabitEthernet()), 2, 3, DefaultWAN(wanLat))
+	gp := Uniform("t2", WANTuned(GigabitEthernet()), 2, 3, DefaultWAN(wanLat))
 	g, err := BuildGrid(gp, 42)
 	if err != nil {
 		t.Fatal(err)

@@ -47,6 +47,7 @@ const (
 // Algorithms lists all All-to-All variants.
 var Algorithms = []Algorithm{Direct, PostAll, Bruck, Pairwise}
 
+// String names the algorithm as used in experiment output.
 func (a Algorithm) String() string {
 	switch a {
 	case Direct:

@@ -2,27 +2,36 @@ package coll
 
 import (
 	"fmt"
+	"sort"
 
+	"repro/internal/cluster"
 	"repro/internal/mpi"
 )
 
-// Hierarchical All-to-All for multi-cluster grids. Flat Direct Exchange
-// sends every inter-cluster block as its own message across the shared
-// WAN uplink — n_c·(n−n_c) start-ups per cluster over a 10–100 ms pipe.
-// The hierarchical algorithms route inter-cluster traffic through one
-// coordinator per cluster (the MagPIe/LaPIe structure the paper's
-// prediction framework is built for): local blocks travel the LAN
-// directly, remote blocks are aggregated at the coordinator, exchanged
-// coordinator-to-coordinator as one large message per cluster pair, and
-// scattered on arrival.
+// Hierarchical All-to-All for multi-cluster and multi-level grids. Flat
+// Direct Exchange sends every inter-cluster block as its own message
+// across the shared WAN uplink — n_c·(n−n_c) start-ups per cluster over
+// a 10–100 ms pipe. The hierarchical algorithms route inter-cluster
+// traffic through one coordinator per subtree (the MagPIe/LaPIe
+// structure the paper's prediction framework is built for): local
+// blocks travel the LAN directly, remote blocks are aggregated at
+// coordinators, exchanged coordinator-to-coordinator as one large
+// message per subtree pair at each tier, and scattered on arrival.
+//
+// Topologies are arbitrary trees (TreeSpec): a leaf is a cluster of
+// ranks, a group is a set of subtrees joined by a WAN tier. A two-level
+// grid is the depth-1 tree; the paper's single cluster is the depth-0
+// tree; campus → national → continental deployments are depth-2 and
+// beyond. One recursive plan builder covers every depth — the flat
+// Placement API below compiles through the same path.
 //
 // Both algorithms are generated as explicit per-rank communication plans
 // (phases of matched sends and receives annotated with the logical
 // blocks they carry). The plan is what runs on the mpi runtime, and the
 // same plan is executed symbolically by tests to prove every (src,dst)
 // block reaches its destination under arbitrary rank→cluster placements
-// — including uneven cluster sizes — and that the phase structure is
-// deadlock-free.
+// — including uneven cluster sizes and uneven tree depths — and that the
+// phase structure is deadlock-free.
 
 // tagHier is the reserved tag base for hierarchical collectives.
 const tagHier int32 = 6000
@@ -32,22 +41,23 @@ type HierAlgorithm int
 
 const (
 	// HierGather is the sequential variant: intra-cluster direct
-	// exchange rounds, then a per-cluster gather of remote-bound blocks
-	// at the coordinator, one aggregated exchange per coordinator pair,
-	// and a final scatter. Phases do not overlap, so the WAN sees
-	// exactly one aggregated message per cluster pair with no competing
-	// LAN traffic.
+	// exchange rounds, then per-tier sweeps — gather remote-bound blocks
+	// at each subtree coordinator going up, one aggregated exchange per
+	// subtree pair at each tier, and scatters going down. Phases do not
+	// overlap, so each WAN tier sees exactly one aggregated message per
+	// subtree pair with no competing lower-tier traffic.
 	HierGather HierAlgorithm = iota
 	// HierDirect overlaps the intra-cluster direct exchange with the
-	// coordinator relay: non-coordinators post all local exchanges,
-	// gathers and the scatter receive at once, so LAN and WAN transfers
-	// proceed concurrently and the WAN latency hides behind local work.
+	// coordinator relay: every rank posts its operations as early as
+	// data dependencies allow, so LAN and WAN transfers proceed
+	// concurrently and the WAN latency hides behind local work.
 	HierDirect
 )
 
 // HierAlgorithms lists the hierarchical variants.
 var HierAlgorithms = []HierAlgorithm{HierGather, HierDirect}
 
+// String names the variant as used in experiment output.
 func (a HierAlgorithm) String() string {
 	switch a {
 	case HierGather:
@@ -59,9 +69,158 @@ func (a HierAlgorithm) String() string {
 	}
 }
 
-// Placement maps ranks to clusters. Cluster indices must be dense
-// (0..K-1) with every cluster non-empty; rank→cluster assignment is
-// otherwise arbitrary — members of a cluster need not be contiguous.
+// TreeSpec declares a topology subtree for plan construction: exactly
+// one of Ranks (a leaf cluster) or Children (a group of subtrees joined
+// by one WAN tier) must be non-empty. Ranks across the whole tree must
+// cover 0..n−1, each exactly once, in any order.
+type TreeSpec struct {
+	Ranks    []int
+	Children []TreeSpec
+}
+
+// FlatSpec builds the depth-1 TreeSpec of a flat rank→cluster map:
+// every cluster becomes a leaf under one root group.
+func FlatSpec(p Placement) TreeSpec {
+	var t TreeSpec
+	for c := 0; c < p.NumClusters(); c++ {
+		t.Children = append(t.Children, TreeSpec{Ranks: p.Members(c)})
+	}
+	return t
+}
+
+// GridSpec mirrors a built grid into the plan builder's topology spec:
+// the tree shape of the topology with each leaf's assigned rank block.
+func GridSpec(g *cluster.Grid) TreeSpec {
+	li := 0
+	var walk func(t cluster.TopoNode) TreeSpec
+	walk = func(t cluster.TopoNode) TreeSpec {
+		if t.IsLeaf() {
+			s := TreeSpec{Ranks: g.Members[li]}
+			li++
+			return s
+		}
+		var s TreeSpec
+		for _, c := range t.Children {
+			s.Children = append(s.Children, walk(c))
+		}
+		return s
+	}
+	return walk(g.Tree)
+}
+
+// pnode is a compiled topology-tree node.
+type pnode struct {
+	ranks    []int // all ranks of the subtree, ascending
+	children []*pnode
+	parent   *pnode
+	height   int // 0 for leaves
+	depth    int // 0 for the root
+	coord    int // lowest rank of the subtree
+	leafIdx  int // dense leaf index, -1 for groups
+}
+
+func (v *pnode) leaf() bool { return len(v.children) == 0 }
+
+// TreePlacement maps ranks onto a compiled topology tree. It is the
+// hierarchical generalization of Placement: leaves are clusters, inner
+// nodes are WAN tiers.
+type TreePlacement struct {
+	root   *pnode
+	leaves []*pnode
+	leafOf []int // rank → leaf index
+}
+
+// NewTreePlacement validates and compiles a topology spec. It panics on
+// malformed specs (mixed leaf/group nodes, missing or duplicate ranks),
+// like NewPlacement.
+func NewTreePlacement(spec TreeSpec) TreePlacement {
+	tp := TreePlacement{}
+	tp.root = tp.compile(spec, nil, 0)
+	n := 0
+	for _, lf := range tp.leaves {
+		n += len(lf.ranks)
+	}
+	if n == 0 {
+		panic("coll: empty topology tree")
+	}
+	tp.leafOf = make([]int, n)
+	for i := range tp.leafOf {
+		tp.leafOf[i] = -1
+	}
+	for li, lf := range tp.leaves {
+		for _, r := range lf.ranks {
+			if r < 0 || r >= n {
+				panic(fmt.Sprintf("coll: rank %d outside dense range 0..%d", r, n-1))
+			}
+			if tp.leafOf[r] != -1 {
+				panic(fmt.Sprintf("coll: rank %d appears in two leaves", r))
+			}
+			tp.leafOf[r] = li
+		}
+	}
+	return tp
+}
+
+// compile recursively builds pnodes, assigning leaf indices in spec
+// order and computing subtree rank sets, heights and depths.
+func (tp *TreePlacement) compile(spec TreeSpec, parent *pnode, depth int) *pnode {
+	v := &pnode{parent: parent, depth: depth, leafIdx: -1}
+	switch {
+	case len(spec.Ranks) > 0 && len(spec.Children) > 0:
+		panic("coll: tree node has both ranks and children")
+	case len(spec.Ranks) > 0:
+		v.ranks = append([]int(nil), spec.Ranks...)
+		sort.Ints(v.ranks)
+		for i := 1; i < len(v.ranks); i++ {
+			if v.ranks[i] == v.ranks[i-1] {
+				panic(fmt.Sprintf("coll: rank %d duplicated within a leaf", v.ranks[i]))
+			}
+		}
+		v.leafIdx = len(tp.leaves)
+		tp.leaves = append(tp.leaves, v)
+	case len(spec.Children) > 0:
+		for _, cs := range spec.Children {
+			c := tp.compile(cs, v, depth+1)
+			v.children = append(v.children, c)
+			v.ranks = append(v.ranks, c.ranks...)
+			if c.height+1 > v.height {
+				v.height = c.height + 1
+			}
+		}
+		sort.Ints(v.ranks)
+	default:
+		panic("coll: tree node has neither ranks nor children")
+	}
+	v.coord = v.ranks[0]
+	return v
+}
+
+// NumRanks returns the total rank count.
+func (tp TreePlacement) NumRanks() int { return len(tp.leafOf) }
+
+// NumLeaves returns the number of leaf clusters.
+func (tp TreePlacement) NumLeaves() int { return len(tp.leaves) }
+
+// LeafOf returns the leaf index of rank r.
+func (tp TreePlacement) LeafOf(r int) int { return tp.leafOf[r] }
+
+// LeafMembers returns the ranks of leaf l in ascending order.
+func (tp TreePlacement) LeafMembers(l int) []int { return tp.leaves[l].ranks }
+
+// Height returns the root height: 0 for a single cluster, 1 for a
+// two-level grid, 2 for campus → national → continental, and so on.
+func (tp TreePlacement) Height() int { return tp.root.height }
+
+// Placement flattens the tree to leaf granularity: leaf index becomes
+// cluster index. For depth-1 trees this is the inverse of FlatSpec.
+func (tp TreePlacement) Placement() Placement {
+	return NewPlacement(append([]int(nil), tp.leafOf...))
+}
+
+// Placement maps ranks to clusters of a two-level grid. Cluster indices
+// must be dense (0..K-1) with every cluster non-empty; rank→cluster
+// assignment is otherwise arbitrary — members of a cluster need not be
+// contiguous.
 type Placement struct {
 	clusterOf []int
 	members   [][]int
@@ -136,12 +295,42 @@ type hierPhase struct {
 	recvs []planOp
 }
 
-// HierPlan is a compiled hierarchical All-to-All for one placement.
+// HierPlan is a compiled hierarchical All-to-All for one topology.
 type HierPlan struct {
-	Alg     HierAlgorithm
-	Place   Placement
+	Alg HierAlgorithm
+	// Place is the leaf-granularity flattening of the topology (leaf
+	// index = cluster index), kept for executors and diagnostics.
+	Place Placement
+	// Tree is the full topology the plan was compiled for.
+	Tree    TreePlacement
 	perRank [][]hierPhase
 	msgs    []*hierMsg // block-annotated message list, for verification
+}
+
+// NumPhases returns the deepest per-rank phase count of the plan.
+func (p *HierPlan) NumPhases() int {
+	n := 0
+	for _, phases := range p.perRank {
+		if len(phases) > n {
+			n = len(phases)
+		}
+	}
+	return n
+}
+
+// NumMessages returns the plan's total matched message count.
+func (p *HierPlan) NumMessages() int { return len(p.msgs) }
+
+// CrossLeafMessages returns how many messages cross leaf-cluster
+// boundaries — the coordinator-relayed traffic that rides WAN tiers.
+func (p *HierPlan) CrossLeafMessages() int {
+	n := 0
+	for _, m := range p.msgs {
+		if p.Tree.LeafOf(m.from) != p.Tree.LeafOf(m.to) {
+			n++
+		}
+	}
+	return n
 }
 
 // planBuilder accumulates matched messages into per-rank phase lists.
@@ -168,7 +357,7 @@ func (b *planBuilder) phase(r, ph int) *hierPhase {
 // Tags are allocated per ordered rank pair in registration order, which
 // both sides share because one builder constructs the whole plan.
 func (b *planBuilder) msg(from, fromPhase, to, toPhase int, blocks []Block) {
-	if len(blocks) == 0 {
+	if len(blocks) == 0 || from == to {
 		return
 	}
 	key := [2]int{from, to}
@@ -182,140 +371,307 @@ func (b *planBuilder) msg(from, fromPhase, to, toPhase int, blocks []Block) {
 	rp.recvs = append(rp.recvs, planOp{peer: from, tag: tag, blocks: len(blocks)})
 }
 
-// outboundBlocks returns the blocks rank i owes cluster d's members.
-func outboundBlocks(p Placement, i, d int) []Block {
-	var out []Block
-	for _, j := range p.Members(d) {
-		if j != i {
-			out = append(out, Block{Src: i, Dst: j})
-		}
-	}
-	return out
+// PlanHier compiles the hierarchical All-to-All plan for a flat
+// two-level placement. It is sugar for PlanHierTree over FlatSpec: the
+// same recursive builder constructs every plan.
+func PlanHier(p Placement, alg HierAlgorithm) *HierPlan {
+	return PlanHierTree(FlatSpec(p), alg)
 }
 
-// PlanHier compiles the hierarchical All-to-All plan for a placement.
-func PlanHier(p Placement, alg HierAlgorithm) *HierPlan {
-	b := newPlanBuilder(p.NumRanks())
+// PlanHierTree compiles the hierarchical All-to-All plan for an
+// arbitrary topology tree.
+func PlanHierTree(spec TreeSpec, alg HierAlgorithm) *HierPlan {
+	tp := NewTreePlacement(spec)
+	c := &treeCompiler{tp: tp, alg: alg, b: newPlanBuilder(tp.NumRanks())}
 	switch alg {
-	case HierGather:
-		planHierGather(b, p)
-	case HierDirect:
-		planHierDirect(b, p)
+	case HierGather, HierDirect:
+		c.build()
 	default:
 		panic("coll: unknown hierarchical algorithm")
 	}
-	return &HierPlan{Alg: alg, Place: p, perRank: b.plans, msgs: b.msgs}
+	return &HierPlan{Alg: alg, Place: tp.Placement(), Tree: tp, perRank: c.b.plans, msgs: c.b.msgs}
 }
 
-// planHierGather emits the sequential gather/exchange/scatter plan.
-// Per-rank phase layout, uniform across cluster sizes:
+// treeCompiler emits the recursive plan. Both variants share one message
+// set — what differs is phase assignment:
 //
-//	0  intra-cluster exchange, every local pair posted at once
-//	1  gather: non-coordinators send remote-bound blocks to coord
-//	2  exchange: coordinator pairs swap aggregated blocks
-//	3  scatter: coordinator delivers inbound blocks locally
+// HierGather sequences global tiers: phase 0 is the intra-leaf exchange,
+// phase 1 the leaf gather, phase 1+h runs tier h (aggregated exchange
+// between sibling subtrees plus the upward gather to the tier's
+// coordinator), and phase 1+H+d scatters at depth d on the way down.
 //
-// The phases are strictly sequenced per rank, so the WAN exchange sees
-// exactly one aggregated message per cluster pair with no competing LAN
-// traffic — the defining contrast with HierDirect's overlap.
-func planHierGather(b *planBuilder, p Placement) {
-	for c := 0; c < p.NumClusters(); c++ {
-		mem := p.Members(c)
-		planIntraPairs(b, mem, 0)
-		coord := p.Coordinator(c)
-		// Gather: each non-coordinator hands over its blocks for every
-		// remote cluster as one message per remote cluster.
-		for _, i := range mem[1:] {
-			for d := 0; d < p.NumClusters(); d++ {
-				if d != c {
-					b.msg(i, 1, coord, 1, outboundBlocks(p, i, d))
+// HierDirect assigns each message its data-dependency level: a send
+// forwarding blocks received at level ℓ is posted at level ℓ+1, and
+// receives are posted one phase before the rank forwards their content
+// (terminal receives as early as safety allows). Leaf non-coordinators
+// collapse to a single phase posting everything at once, which is what
+// overlaps the local exchange with the coordinator relay.
+type treeCompiler struct {
+	tp  TreePlacement
+	alg HierAlgorithm
+	b   *planBuilder
+}
+
+func (c *treeCompiler) build() {
+	root := c.tp.root
+	H := root.height
+
+	// downSend(v): the HierDirect level at which coordinator(v) forwards
+	// inbound blocks down to v's children — after the parent-tier
+	// exchange (its own participation phase v.height+1 and the sibling
+	// send levels, which differ in uneven trees) and the parent's own
+	// scatter.
+	downSend := map[*pnode]int{}
+	var computeDown func(v *pnode)
+	computeDown = func(v *pnode) {
+		if v.parent != nil {
+			lvl := v.height + 1
+			for _, a := range v.parent.children {
+				if a != v && a.height+1 > lvl {
+					lvl = a.height + 1
+				}
+			}
+			if v.parent.parent != nil {
+				if d := downSend[v.parent]; d > lvl {
+					lvl = d
+				}
+			}
+			downSend[v] = lvl + 1
+		}
+		for _, ch := range v.children {
+			computeDown(ch)
+		}
+	}
+	computeDown(root)
+
+	direct := c.alg == HierDirect
+
+	// Phase selectors per message family. For HierGather both ends share
+	// the global tier phase; for HierDirect sends use dependency levels
+	// and receives are resolved below (terminal receives need the
+	// rank's final send phase, so emission is two-pass).
+	type pending struct {
+		from, to     int
+		fromPhase    int
+		toPhase      int  // ≥0 when fixed
+		terminalAtTo bool // HierDirect: resolve toPhase to maxSend(to)
+		blocks       []Block
+	}
+	var out []pending
+	emit := func(from, fromPhase, to, toPhase int, blocks []Block) {
+		if len(blocks) == 0 || from == to {
+			return
+		}
+		out = append(out, pending{from: from, fromPhase: fromPhase, to: to, toPhase: toPhase, blocks: blocks})
+	}
+	emitTerminal := func(from, fromPhase, to int, blocks []Block) {
+		if len(blocks) == 0 || from == to {
+			return
+		}
+		out = append(out, pending{from: from, fromPhase: fromPhase, to: to, toPhase: -1, terminalAtTo: true, blocks: blocks})
+	}
+
+	// 1. Intra-leaf exchange: every local ordered pair's block, all
+	// posted at once (PostAll style, the shape the contention signature
+	// is fitted on). Phase 0 in both variants.
+	for _, lf := range c.tp.leaves {
+		mem := lf.ranks
+		for ki, i := range mem {
+			for _, j := range mem[ki+1:] {
+				emit(i, 0, j, 0, []Block{{Src: i, Dst: j}})
+				emit(j, 0, i, 0, []Block{{Src: j, Dst: i}})
+			}
+		}
+	}
+
+	// 2. Leaf gather: each non-coordinator hands its remote-bound blocks
+	// to the leaf coordinator, one message per divergence target —
+	// walking ancestors bottom-up, one message per sibling subtree.
+	for _, lf := range c.tp.leaves {
+		for _, i := range lf.ranks {
+			if i == lf.coord {
+				continue
+			}
+			for v := lf; v.parent != nil; v = v.parent {
+				for _, sib := range v.parent.children {
+					if sib == v {
+						continue
+					}
+					var blocks []Block
+					for _, j := range sib.ranks {
+						blocks = append(blocks, Block{Src: i, Dst: j})
+					}
+					sp, rp := 1, 1
+					if direct {
+						sp, rp = 0, 0 // held at start; coordinator forwards at level 1
+					}
+					emit(i, sp, lf.coord, rp, blocks)
 				}
 			}
 		}
-		// Exchange: one aggregated message per ordered cluster pair.
-		for d := 0; d < p.NumClusters(); d++ {
-			if d == c {
+	}
+
+	// 3. Upward sweep, tier by tier: aggregated exchange between sibling
+	// subtrees plus the upward gather of blocks leaving the tier.
+	var groups []*pnode
+	var collectGroups func(v *pnode)
+	collectGroups = func(v *pnode) {
+		for _, ch := range v.children {
+			collectGroups(ch)
+		}
+		if !v.leaf() {
+			groups = append(groups, v)
+		}
+	}
+	collectGroups(root)
+	sort.SliceStable(groups, func(i, j int) bool { return groups[i].height < groups[j].height })
+
+	outside := func(v *pnode) []int {
+		in := map[int]bool{}
+		for _, r := range v.ranks {
+			in[r] = true
+		}
+		var o []int
+		for r := 0; r < c.tp.NumRanks(); r++ {
+			if !in[r] {
+				o = append(o, r)
+			}
+		}
+		return o
+	}
+
+	for _, g := range groups {
+		// Exchange: one aggregated message per ordered child pair.
+		for _, a := range g.children {
+			for _, bb := range g.children {
+				if a == bb {
+					continue
+				}
+				var blocks []Block
+				for _, i := range a.ranks {
+					for _, j := range bb.ranks {
+						blocks = append(blocks, Block{Src: i, Dst: j})
+					}
+				}
+				sp, rp := 1+g.height, 1+g.height
+				if direct {
+					// Exchange sends and receives are posted together, at
+					// each side's own tier level: a rendezvous send only
+					// completes once the receive is posted, so delaying
+					// the receive past the peer's send phase would
+					// deadlock two coordinators against each other.
+					sp, rp = a.height+1, bb.height+1
+				}
+				emit(a.coord, sp, bb.coord, rp, blocks)
+			}
+		}
+		// Upward gather: each child coordinator forwards the blocks that
+		// leave this tier to the tier coordinator, one aggregated
+		// message per child.
+		if g.parent == nil {
+			continue
+		}
+		ext := outside(g)
+		for _, ch := range g.children {
+			if ch.coord == g.coord {
 				continue
 			}
 			var blocks []Block
-			for _, i := range mem {
-				blocks = append(blocks, outboundBlocks(p, i, d)...)
-			}
-			b.msg(coord, 2, p.Coordinator(d), 2, blocks)
-		}
-		// Scatter: the coordinator forwards every inbound remote block
-		// to its local destination (keeping its own).
-		for _, i := range mem[1:] {
-			var blocks []Block
-			for j := 0; j < p.NumRanks(); j++ {
-				if p.Cluster(j) != c {
-					blocks = append(blocks, Block{Src: j, Dst: i})
+			for _, i := range ch.ranks {
+				for _, j := range ext {
+					blocks = append(blocks, Block{Src: i, Dst: j})
 				}
 			}
-			b.msg(coord, 3, i, 3, blocks)
+			sp, rp := 1+g.height, 1+g.height
+			if direct {
+				sp, rp = ch.height+1, g.height
+			}
+			emit(ch.coord, sp, g.coord, rp, blocks)
 		}
 	}
-}
 
-// planHierDirect emits the overlapped plan. Non-coordinators run a
-// single phase posting everything at once: the intra-cluster exchange
-// (PostAll style), the gathers to the coordinator, and the scatter
-// receive. Coordinators need three phases to respect data dependencies:
-//
-//	0  intra exchange + local gather receives
-//	1  coordinator exchange (sends and receives posted together)
-//	2  local scatter sends
-func planHierDirect(b *planBuilder, p Placement) {
-	for c := 0; c < p.NumClusters(); c++ {
-		mem := p.Members(c)
-		coord := p.Coordinator(c)
-		planIntraPairs(b, mem, 0)
-		// Gathers into the coordinator, posted with everything else.
-		for _, i := range mem[1:] {
-			for d := 0; d < p.NumClusters(); d++ {
-				if d != c {
-					b.msg(i, 0, coord, 0, outboundBlocks(p, i, d))
-				}
-			}
+	// 4. Downward scatter, depth by depth: each subtree coordinator
+	// forwards inbound blocks to child coordinators, and leaf
+	// coordinators deliver to members.
+	var nodes []*pnode
+	var collectAll func(v *pnode)
+	collectAll = func(v *pnode) {
+		nodes = append(nodes, v)
+		for _, ch := range v.children {
+			collectAll(ch)
 		}
-		// Coordinator exchange.
-		for d := 0; d < p.NumClusters(); d++ {
-			if d == c {
+	}
+	collectAll(root)
+	sort.SliceStable(nodes, func(i, j int) bool { return nodes[i].depth < nodes[j].depth })
+
+	for _, v := range nodes {
+		if v.parent == nil {
+			continue // the root has no inbound traffic to distribute
+		}
+		ext := outside(v)
+		if v.leaf() {
+			for _, i := range v.ranks {
+				if i == v.coord {
+					continue
+				}
+				var blocks []Block
+				for _, j := range ext {
+					blocks = append(blocks, Block{Src: j, Dst: i})
+				}
+				sp, rp := 1+H+v.depth, 1+H+v.depth
+				if direct {
+					emitTerminal(v.coord, downSend[v], i, blocks)
+					continue
+				}
+				emit(v.coord, sp, i, rp, blocks)
+			}
+			continue
+		}
+		for _, ch := range v.children {
+			if ch.coord == v.coord {
 				continue
 			}
 			var blocks []Block
-			for _, i := range mem {
-				blocks = append(blocks, outboundBlocks(p, i, d)...)
-			}
-			b.msg(coord, 1, p.Coordinator(d), 1, blocks)
-		}
-		// Scatter, received by non-coordinators in their single phase.
-		for _, i := range mem[1:] {
-			var blocks []Block
-			for j := 0; j < p.NumRanks(); j++ {
-				if p.Cluster(j) != c {
-					blocks = append(blocks, Block{Src: j, Dst: i})
+			for _, j := range ext {
+				for _, d := range ch.ranks {
+					blocks = append(blocks, Block{Src: j, Dst: d})
 				}
 			}
-			b.msg(coord, 2, i, 0, blocks)
+			sp, rp := 1+H+v.depth, 1+H+v.depth
+			if direct {
+				sp = downSend[v]
+				if len(ch.ranks) > 1 {
+					rp = downSend[ch] - 1
+					emit(v.coord, sp, ch.coord, rp, blocks)
+					continue
+				}
+				emitTerminal(v.coord, sp, ch.coord, blocks)
+				continue
+			}
+			emit(v.coord, sp, ch.coord, rp, blocks)
 		}
 	}
-}
 
-// planIntraPairs emits the intra-cluster exchange among mem in a single
-// phase: every local ordered pair's block, all posted at once (PostAll
-// style, the shape the contention signature is fitted on).
-func planIntraPairs(b *planBuilder, mem []int, phase int) {
-	for ki, i := range mem {
-		for _, j := range mem[ki+1:] {
-			b.msg(i, phase, j, phase, []Block{{Src: i, Dst: j}})
-			b.msg(j, phase, i, phase, []Block{{Src: j, Dst: i}})
+	// Resolve terminal receive phases: a receive whose content the rank
+	// never forwards is posted once all the rank's sends are out, so a
+	// blocked WaitAll can't withhold a message another subtree needs.
+	maxSend := make([]int, c.tp.NumRanks())
+	for _, m := range out {
+		if m.fromPhase > maxSend[m.from] {
+			maxSend[m.from] = m.fromPhase
 		}
+	}
+	for _, m := range out {
+		ph := m.toPhase
+		if m.terminalAtTo {
+			ph = maxSend[m.to]
+		}
+		c.b.msg(m.from, m.fromPhase, m.to, ph, m.blocks)
 	}
 }
 
 // AlltoallHierPlanned executes a compiled plan on the calling rank with
-// per-pair message size m. Every rank of the plan's placement must call
+// per-pair message size m. Every rank of the plan's topology must call
 // it with the same plan and m.
 func AlltoallHierPlanned(r *mpi.Rank, plan *HierPlan, m int) {
 	if plan.Place.NumRanks() != r.Size() {

@@ -11,11 +11,15 @@ import (
 
 // verifyHierPlan executes a plan symbolically at block granularity: each
 // rank advances through its phases; a phase completes once every inbound
-// message's sender has posted it (entered its own sending phase). It
-// checks three properties of the actual plan the mpi executor runs:
+// message's sender has posted it (entered its own sending phase) AND
+// every outbound message's receiver has posted the matching receive —
+// the rendezvous protocol's completion rule, under which a send blocks
+// its phase until the receiver arrives. It checks three properties of
+// the actual plan the mpi executor runs:
 //
 //  1. progress: every rank finishes all phases (deadlock-freedom of the
-//     phase structure under dependency-respecting scheduling);
+//     phase structure under dependency-respecting scheduling, even when
+//     every message is rendezvous);
 //  2. causality: a rank holds every block it sends at posting time;
 //  3. permutation: afterwards every rank holds exactly the blocks
 //     addressed to it.
@@ -62,6 +66,12 @@ func verifyHierPlan(t *testing.T, plan *HierPlan) {
 			ready := true
 			for _, m := range plan.msgs {
 				if m.to == r && m.toPhase == ph && progress[m.from] < m.fromPhase {
+					ready = false
+					break
+				}
+				// Rendezvous: a send completes only once the receiver
+				// has posted the matching receive.
+				if m.from == r && m.fromPhase == ph && progress[m.to] < m.toPhase {
 					ready = false
 					break
 				}
@@ -147,6 +157,263 @@ func TestHierPlanPermutationRandom(t *testing.T) {
 	}
 }
 
+// treeSpecs are multi-level topologies covering uniform 3-level trees,
+// uneven depths (a leaf directly under the root next to deep groups),
+// single-rank leaves and interleaved rank assignments.
+func treeSpecs() []TreeSpec {
+	leaf := func(ranks ...int) TreeSpec { return TreeSpec{Ranks: ranks} }
+	group := func(children ...TreeSpec) TreeSpec { return TreeSpec{Children: children} }
+	return []TreeSpec{
+		// Depth 0: a single cluster.
+		leaf(0, 1, 2, 3),
+		// Depth 1: the PR-1 two-level grid.
+		group(leaf(0, 1, 2), leaf(3, 4, 5)),
+		// Uniform depth 2: campus → national → continental.
+		group(
+			group(leaf(0, 1), leaf(2, 3)),
+			group(leaf(4, 5), leaf(6, 7)),
+		),
+		// Uneven cluster sizes and a single-rank campus.
+		group(
+			group(leaf(0, 1, 2), leaf(3)),
+			group(leaf(4, 5), leaf(6, 7, 8, 9)),
+		),
+		// Uneven depth: a leaf right under the root next to a deep group.
+		group(
+			leaf(0, 1, 2),
+			group(leaf(3, 4), leaf(5)),
+		),
+		// Interleaved (non-contiguous) rank placement on a 3-level tree.
+		group(
+			group(leaf(7, 0), leaf(3, 9)),
+			group(leaf(1, 8), leaf(5, 2), leaf(4, 6)),
+		),
+		// Depth 3, mixed shapes, single-rank subtrees.
+		group(
+			group(
+				group(leaf(0), leaf(1, 2)),
+				leaf(3, 4),
+			),
+			group(leaf(5, 6), group(leaf(7), leaf(8))),
+		),
+	}
+}
+
+// TestHierTreePlanPermutation checks block-permutation correctness and
+// deadlock-freedom of both hierarchical algorithms across multi-level
+// topologies, including uneven depths and single-rank leaves.
+func TestHierTreePlanPermutation(t *testing.T) {
+	for ti, spec := range treeSpecs() {
+		for _, alg := range HierAlgorithms {
+			plan := PlanHierTree(spec, alg)
+			if plan.Tree.NumRanks() != plan.Place.NumRanks() {
+				t.Fatalf("tree %d %v: tree has %d ranks, placement %d",
+					ti, alg, plan.Tree.NumRanks(), plan.Place.NumRanks())
+			}
+			verifyHierPlan(t, plan)
+		}
+	}
+}
+
+// TestHierTreePlanPermutationRandom fuzzes topology trees: random
+// shapes up to depth 3, random rank distribution over leaves.
+func TestHierTreePlanPermutationRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var build func(depthLeft int) TreeSpec
+	var leafCount int
+	build = func(depthLeft int) TreeSpec {
+		if depthLeft == 0 || rng.Intn(3) == 0 {
+			leafCount++
+			return TreeSpec{Ranks: []int{}} // ranks filled afterwards
+		}
+		k := rng.Intn(3) + 1
+		var s TreeSpec
+		for c := 0; c < k; c++ {
+			s.Children = append(s.Children, build(depthLeft-1))
+		}
+		return s
+	}
+	fill := func(s *TreeSpec, perLeaf [][]int) {
+		idx := 0
+		var walk func(v *TreeSpec)
+		walk = func(v *TreeSpec) {
+			if len(v.Children) == 0 {
+				v.Ranks = perLeaf[idx]
+				idx++
+				return
+			}
+			for i := range v.Children {
+				walk(&v.Children[i])
+			}
+		}
+		walk(s)
+	}
+	for iter := 0; iter < 40; iter++ {
+		leafCount = 0
+		spec := build(3)
+		if leafCount == 0 {
+			continue
+		}
+		n := leafCount + rng.Intn(8)
+		perm := rng.Perm(n)
+		perLeaf := make([][]int, leafCount)
+		for l := 0; l < leafCount; l++ {
+			perLeaf[l] = []int{perm[l]} // every leaf non-empty
+		}
+		for i := leafCount; i < n; i++ {
+			l := rng.Intn(leafCount)
+			perLeaf[l] = append(perLeaf[l], perm[i])
+		}
+		fill(&spec, perLeaf)
+		for _, alg := range HierAlgorithms {
+			verifyHierPlan(t, PlanHierTree(spec, alg))
+		}
+	}
+}
+
+// TestHierTreeAggregation: on a 3-level tree, traffic crossing a tier is
+// coordinator-relayed and the top tier carries exactly one aggregated
+// message per ordered national pair.
+func TestHierTreeAggregation(t *testing.T) {
+	spec := TreeSpec{Children: []TreeSpec{
+		{Children: []TreeSpec{{Ranks: []int{0, 1, 2}}, {Ranks: []int{3, 4}}}},
+		{Children: []TreeSpec{{Ranks: []int{5, 6, 7}}, {Ranks: []int{8}}}},
+	}}
+	nationOf := func(r int) int {
+		if r <= 4 {
+			return 0
+		}
+		return 1
+	}
+	for _, alg := range HierAlgorithms {
+		plan := PlanHierTree(spec, alg)
+		cross := map[[2]int]int{}
+		for _, m := range plan.msgs {
+			nf, nt := nationOf(m.from), nationOf(m.to)
+			if nf != nt {
+				cross[[2]int{nf, nt}]++
+				// National coordinators are the lowest ranks: 0 and 5.
+				if (m.from != 0 && m.from != 5) || (m.to != 0 && m.to != 5) {
+					t.Fatalf("%v: top-tier message %d->%d not coordinator-relayed", alg, m.from, m.to)
+				}
+				if len(m.blocks) != 5*4 {
+					t.Fatalf("%v: top-tier message %d->%d carries %d blocks, want 20", alg, m.from, m.to, len(m.blocks))
+				}
+			}
+		}
+		if len(cross) != 2 || cross[[2]int{0, 1}] != 1 || cross[[2]int{1, 0}] != 1 {
+			t.Fatalf("%v: top-tier crossings %v, want exactly one per ordered pair", alg, cross)
+		}
+		// Campus crossings within nation 0: two exchange messages
+		// between campus coordinators (0 and 3), one upward gather
+		// (3 -> 0 carries campus {3,4}'s outbound) and one downward
+		// scatter (0 -> 3) — four coordinator-relayed messages.
+		campus := 0
+		for _, m := range plan.msgs {
+			a, b := m.from <= 2, m.to <= 2
+			if m.from <= 4 && m.to <= 4 && a != b {
+				campus++
+				if (m.from != 0 && m.from != 3) || (m.to != 0 && m.to != 3) {
+					t.Fatalf("%v: campus-tier message %d->%d not coordinator-relayed", alg, m.from, m.to)
+				}
+			}
+		}
+		if campus != 4 {
+			t.Fatalf("%v: %d campus-tier crossings in nation 0, want 4", alg, campus)
+		}
+	}
+}
+
+// TestHierPlanTwoLevelShapePinned pins the exact two-level plan shape
+// the flat-placement path produced before the recursive rewrite
+// (PR 1), proving depth-1 inputs reproduce it through the unified
+// recursive builder: per-rank phase layouts, message counts and
+// aggregation for a 3+3 grid.
+func TestHierPlanTwoLevelShapePinned(t *testing.T) {
+	place := NewPlacement([]int{0, 0, 0, 1, 1, 1})
+
+	ops := func(p *HierPlan, r, ph int) (sends, recvs int) {
+		if ph >= len(p.perRank[r]) {
+			return 0, 0
+		}
+		return len(p.perRank[r][ph].sends), len(p.perRank[r][ph].recvs)
+	}
+
+	// hier-gather: 0 intra, 1 gather, 2 coordinator exchange, 3 scatter.
+	g := PlanHier(place, HierGather)
+	for r := 0; r < 6; r++ {
+		if got := len(g.perRank[r]); got != 4 {
+			t.Fatalf("gather: rank %d has %d phases, want 4", r, got)
+		}
+	}
+	for _, r := range []int{0, 3} { // coordinators
+		for ph, want := range [][2]int{{2, 2}, {0, 2}, {1, 1}, {2, 0}} {
+			s, v := ops(g, r, ph)
+			if s != want[0] || v != want[1] {
+				t.Fatalf("gather: coord %d phase %d = %d sends/%d recvs, want %d/%d", r, ph, s, v, want[0], want[1])
+			}
+		}
+	}
+	for _, r := range []int{1, 2, 4, 5} { // members
+		for ph, want := range [][2]int{{2, 2}, {1, 0}, {0, 0}, {0, 1}} {
+			s, v := ops(g, r, ph)
+			if s != want[0] || v != want[1] {
+				t.Fatalf("gather: member %d phase %d = %d sends/%d recvs, want %d/%d", r, ph, s, v, want[0], want[1])
+			}
+		}
+	}
+
+	// hier-direct: members collapse to a single do-everything phase;
+	// coordinators keep 3 (intra+gathers, exchange, scatter).
+	d := PlanHier(place, HierDirect)
+	for _, r := range []int{1, 2, 4, 5} {
+		if got := len(d.perRank[r]); got != 1 {
+			t.Fatalf("direct: member %d has %d phases, want 1", r, got)
+		}
+		s, v := ops(d, r, 0)
+		if s != 3 || v != 3 {
+			t.Fatalf("direct: member %d phase 0 = %d sends/%d recvs, want 3/3", r, s, v)
+		}
+	}
+	for _, r := range []int{0, 3} {
+		if got := len(d.perRank[r]); got != 3 {
+			t.Fatalf("direct: coord %d has %d phases, want 3", r, got)
+		}
+		for ph, want := range [][2]int{{2, 4}, {1, 1}, {2, 0}} {
+			s, v := ops(d, r, ph)
+			if s != want[0] || v != want[1] {
+				t.Fatalf("direct: coord %d phase %d = %d sends/%d recvs, want %d/%d", r, ph, s, v, want[0], want[1])
+			}
+		}
+	}
+
+	// Aggregation invariants shared by both variants: one exchange
+	// message per ordered cluster pair with 9 blocks, gathers of 3
+	// blocks, scatters of 3 blocks, 12 intra messages.
+	for _, p := range []*HierPlan{g, d} {
+		var intra, gather, xchg, scatter int
+		for _, m := range p.msgs {
+			switch {
+			case p.Place.Cluster(m.from) != p.Place.Cluster(m.to):
+				xchg++
+				if len(m.blocks) != 9 {
+					t.Fatalf("%v: exchange carries %d blocks, want 9", p.Alg, len(m.blocks))
+				}
+			case len(m.blocks) == 1:
+				intra++
+			case m.to == p.Place.Coordinator(p.Place.Cluster(m.to)):
+				gather++
+			default:
+				scatter++
+			}
+		}
+		if intra != 12 || gather != 4 || xchg != 2 || scatter != 4 {
+			t.Fatalf("%v: intra/gather/xchg/scatter = %d/%d/%d/%d, want 12/4/2/4",
+				p.Alg, intra, gather, xchg, scatter)
+		}
+	}
+}
+
 // TestHierPlanAggregation: the WAN-crossing traffic of a hierarchical
 // plan is exactly one message per ordered cluster pair, carrying every
 // inter-cluster block once.
@@ -195,6 +462,34 @@ func TestHierAlltoallOnGrid(t *testing.T) {
 			t.Fatalf("%v: completion %.4fs, cannot beat one WAN latency", alg, meas.Mean())
 		}
 		if meas.Mean() > 5 {
+			t.Fatalf("%v: completion %.1fs implausibly slow", alg, meas.Mean())
+		}
+	}
+}
+
+// TestHierTreeAlltoallOn3LevelGrid runs both hierarchical algorithms
+// end-to-end on a simulated 3-level grid (2 nations × 2 campuses × 2
+// nodes, 5 ms campus / 20 ms continental tiers) and checks completion
+// with a physically sensible time (the mpi runtime panics on deadlock).
+func TestHierTreeAlltoallOn3LevelGrid(t *testing.T) {
+	p := cluster.WANTuned(cluster.GigabitEthernet())
+	tree := cluster.ThreeLevel("t-hier3", p, 2, 2, 2,
+		cluster.DefaultWAN(5*sim.Millisecond), cluster.DefaultWAN(20*sim.Millisecond))
+	for _, alg := range HierAlgorithms {
+		g, err := cluster.BuildGridTree(tree, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := PlanHierTree(GridSpec(g), alg)
+		if plan.Tree.Height() != 2 {
+			t.Fatalf("%v: plan height %d, want 2", alg, plan.Tree.Height())
+		}
+		w := mpi.NewWorld(g.Env, mpi.Config{})
+		meas := Measure(w, 0, 1, func(r *mpi.Rank) { AlltoallHierPlanned(r, plan, 20_000) })
+		if meas.Mean() <= 0.020 {
+			t.Fatalf("%v: completion %.4fs, cannot beat one continental latency", alg, meas.Mean())
+		}
+		if meas.Mean() > 10 {
 			t.Fatalf("%v: completion %.1fs implausibly slow", alg, meas.Mean())
 		}
 	}

@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"AB1", "AB2", "AB3",
 		"EX1", "EX2", "EX3",
 		"F02", "F03", "F04", "F05", "F06", "F07", "F08",
-		"F09", "F10", "F11", "F12", "F13", "F14", "GR1", "TA",
+		"F09", "F10", "F11", "F12", "F13", "F14", "GR1", "GR2", "TA",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -104,30 +104,32 @@ func TestFitExperimentRuns(t *testing.T) {
 }
 
 func TestGridExperimentRuns(t *testing.T) {
-	e, err := ByID("GR1")
-	if err != nil {
-		t.Fatal(err)
-	}
-	res := e.Run(tinyConfig())
-	if len(res.Series) == 0 {
-		t.Fatalf("no series: notes=%v", res.Notes)
-	}
-	s := res.Series[0]
-	if len(s.Rows) == 0 {
-		t.Fatal("empty prediction-vs-simulation series")
-	}
-	for _, row := range s.Rows {
-		pred, sim := row[2], row[3]
-		if pred <= 0 || sim <= 0 {
-			t.Fatalf("nonpositive times in row %v", row)
+	for id, wantNote := range map[string]string{"GR1": "WAN", "GR2": "tier"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
-	joined := ""
-	for _, n := range res.Notes {
-		joined += n + "\n"
-	}
-	if !strings.Contains(joined, "WAN") {
-		t.Fatalf("notes missing WAN characterization: %v", res.Notes)
+		res := e.Run(tinyConfig())
+		if len(res.Series) == 0 {
+			t.Fatalf("%s: no series: notes=%v", id, res.Notes)
+		}
+		s := res.Series[0]
+		if len(s.Rows) == 0 {
+			t.Fatalf("%s: empty prediction-vs-simulation series", id)
+		}
+		for _, row := range s.Rows {
+			pred, sim := row[2], row[3]
+			if pred <= 0 || sim <= 0 {
+				t.Fatalf("%s: nonpositive times in row %v", id, row)
+			}
+		}
+		joined := ""
+		for _, n := range res.Notes {
+			joined += n + "\n"
+		}
+		if !strings.Contains(joined, wantNote) {
+			t.Fatalf("%s: notes missing characterization %q: %v", id, wantNote, res.Notes)
+		}
 	}
 }
 

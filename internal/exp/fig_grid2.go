@@ -8,29 +8,32 @@ import (
 	"repro/internal/sim"
 )
 
-// GR1: the multi-cluster grid extension. A two-cluster Gigabit Ethernet
-// grid over a 20 ms WAN runs All-to-All under three strategies (flat
-// direct exchange, hierarchical gather, hierarchical direct) across a
-// message-size sweep; the contention-aware planner predicts each
-// completion time from per-cluster signatures plus the characterized
-// WAN term. The series reports prediction-vs-simulation error per
+// GR2: the recursive multi-level grid extension. A 3-level campus →
+// national → continental topology (2 nations × 2 campuses of Gigabit
+// Ethernet over 10 ms campus and 40 ms continental tiers) runs
+// All-to-All under three strategies across a message-size sweep
+// bracketing the calibration probe; the planner predicts each
+// completion time from per-cluster signatures plus one empirical WAN
+// term per tier, with per-level contention factors fitted innermost
+// tier first. The series reports prediction-vs-simulation error per
 // strategy and whether the planner ranked the strategies as simulation
-// did — the property that makes it usable for grid-aware collective
-// selection (LaPIe/MagPIe style) without running the workload.
+// did — now with the depth-recursive model rather than the two-level
+// special case GR1 exercises.
 func init() {
 	register(Experiment{
-		ID:    "GR1",
-		Title: "Grid: hierarchical All-to-All, prediction vs simulation (2×GigE over 20ms WAN)",
+		ID:    "GR2",
+		Title: "Grid: 3-level hierarchy, prediction vs simulation (2 nations × 2 campuses GigE, 10/40ms WAN)",
 		Run: func(cfg Config) Result {
 			cfg = cfg.withDefaults()
-			res := Result{ID: "GR1", Title: "Grid planner: prediction vs simulation"}
+			res := Result{ID: "GR2", Title: "Multi-level grid planner: prediction vs simulation"}
 
 			p := cluster.WANTuned(cluster.GigabitEthernet()) // long-fat-pipe tuning
-			nodesPer := scaleCount(6, cfg.Scale, 6)
-			topo := cluster.Uniform("gr1", p, 2, nodesPer, cluster.DefaultWAN(20*sim.Millisecond)).Tree()
+			nodesPer := scaleCount(3, cfg.Scale, 3)
+			topo := cluster.ThreeLevel("gr2", p, 2, 2, nodesPer,
+				cluster.DefaultWAN(10*sim.Millisecond), cluster.DefaultWAN(40*sim.Millisecond))
 
 			pl, err := grid.NewPlanner(topo, grid.Options{
-				FitN: scaleCount(8, cfg.Scale, 8),
+				FitN: scaleCount(6, cfg.Scale, 6),
 				Reps: cfg.Reps,
 				Seed: cfg.Seed + 2,
 			})
@@ -38,18 +41,22 @@ func init() {
 				res.Note("planner characterization failed: %v", err)
 				return res
 			}
-			res.Note("WAN: α=%.1fms β_steady=%.3gs/B γ_wan=%.2f ω=%.2f κ=%.2f",
-				pl.Model.Root.Wan.Alpha()*1e3, pl.Model.Root.Wan.BetaSteady(),
-				pl.Model.Root.Wan.Gamma, pl.Model.OverlapGamma, pl.Model.GatherGamma)
-			// Both clusters share one profile, so one signature line.
+			root := pl.Model.Root
+			res.Note("continental tier: α=%.1fms β_steady=%.3gs/B γ_wan=%.2f",
+				root.Wan.Alpha()*1e3, root.Wan.BetaSteady(), root.Wan.Gamma)
+			res.Note("campus tier:      α=%.1fms β_steady=%.3gs/B γ_wan=%.2f",
+				root.Children[0].Wan.Alpha()*1e3, root.Children[0].Wan.BetaSteady(),
+				root.Children[0].Wan.Gamma)
+			res.Note("strategy factors: ω=%.2f κ=%.2f", pl.Model.OverlapGamma, pl.Model.GatherGamma)
+			// All campuses share one profile, so one signature line.
 			res.Note("cluster signature: %s", pl.Model.Leaves()[0].LAN)
 
 			s := Series{
-				Name: "pred-vs-sim",
+				Name: "pred-vs-sim-3lvl",
 				Cols: []string{"msg_bytes", "strat_idx", "predicted_s", "simulated_s", "err_pct"},
 			}
 			agree := 0
-			sizes := []int{16 << 10, 32 << 10, 48 << 10, 64 << 10}
+			sizes := []int{48 << 10, 64 << 10, 80 << 10}
 			for i := range sizes {
 				sizes[i] = scaleSize(sizes[i], cfg.Scale/0.25) // sized for the CI default
 			}

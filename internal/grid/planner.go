@@ -1,18 +1,21 @@
-// Package grid implements the contention-aware planner for multi-cluster
-// All-to-All: given a cluster.GridProfile and a message size, it predicts
-// the completion time of each candidate strategy (flat direct exchange,
-// hierarchical gather, hierarchical direct) from the per-cluster
-// contention signatures and a WAN term, and selects the best — the
-// paper's "performance prediction framework" use case, extended from one
-// cluster to a grid.
+// Package grid implements the contention-aware planner for multi-level
+// grid All-to-All: given a cluster topology tree (cluster.TopoNode) and
+// a message size, it predicts the completion time of each candidate
+// strategy (flat direct exchange, hierarchical gather, hierarchical
+// direct) from the per-cluster contention signatures and per-tier WAN
+// terms, and selects the best — the paper's "performance prediction
+// framework" use case, extended from one cluster to grids of grids.
 //
 // Characterization follows the paper's Section 7 procedure per member
 // network: a ping-pong calibrates the contention-free Hockney
 // parameters, a small All-to-All sweep at a modest process count fits
-// the contention signature, and the signature extrapolates. The WAN side
-// is derived analytically from the grid profile (propagation, router
-// forwarding, wire rate, and the transport's window cap over the
-// long-fat pipe).
+// the contention signature, and the signature extrapolates. Each WAN
+// tier is characterized empirically on a minimal (one node per cluster)
+// instance of the same topology — a ping-pong between two subtrees
+// joined at that tier, so propagation, router forwarding and transport
+// window effects land in the tier's curve. The contention factors the
+// analytics cannot supply are fitted from capped probe grids, one tier
+// at a time from the innermost outward.
 package grid
 
 import (
@@ -35,8 +38,8 @@ const (
 	// FlatDirect runs the paper's Algorithm 1 over the whole grid,
 	// ignoring topology.
 	FlatDirect Strategy = iota
-	// HierGather runs coll.HierGather (sequential gather / coordinator
-	// exchange / scatter).
+	// HierGather runs coll.HierGather (sequential gather / per-tier
+	// coordinator exchange / scatter).
 	HierGather
 	// HierDirect runs coll.HierDirect (intra-cluster exchange
 	// overlapped with the coordinator relay).
@@ -46,6 +49,7 @@ const (
 // Strategies lists all candidate strategies.
 var Strategies = []Strategy{FlatDirect, HierGather, HierDirect}
 
+// String names the strategy as used in experiment output.
 func (s Strategy) String() string {
 	switch s {
 	case FlatDirect:
@@ -70,12 +74,16 @@ type Options struct {
 	// FitSizes is the message sweep of the fit (default 16k..512k, 5
 	// points; at least 4 are required).
 	FitSizes []int
-	// WANSizes is the transfer sweep of the WAN ping-pong curve
-	// (default 2k..1M, 5 points).
+	// WANSizes is the transfer sweep of the per-tier WAN ping-pong
+	// curves (default 2k..1M, 5 points).
 	WANSizes []int
-	// ProbeSize is the per-pair message size of the flat-exchange probe
-	// that fits the WAN contention factor γ_wan (default 64 KiB).
+	// ProbeSize is the per-pair message size of the probes that fit the
+	// contention factors (default 64 KiB).
 	ProbeSize int
+	// ProbeCap caps per-cluster node counts in probe grids (default 4):
+	// large enough that uplink sharing and LAN/WAN overlap interference
+	// show up, small enough to stay affordable.
+	ProbeCap int
 	// Reps is the repetitions per measured point (default 2).
 	Reps int
 	// Seed drives the characterization simulations.
@@ -95,6 +103,9 @@ func (o Options) withDefaults() Options {
 	if o.ProbeSize == 0 {
 		o.ProbeSize = 64 << 10
 	}
+	if o.ProbeCap == 0 {
+		o.ProbeCap = 4
+	}
 	if o.Reps == 0 {
 		o.Reps = 2
 	}
@@ -106,92 +117,161 @@ func (o Options) withDefaults() Options {
 
 // Planner predicts and ranks grid All-to-All strategies.
 type Planner struct {
-	Profile cluster.GridProfile
-	Model   model.GridModel
-	// Hockney holds the calibrated point-to-point parameters per member
-	// (diagnostic).
+	// Topo is the topology tree the planner was characterized for.
+	Topo cluster.TopoNode
+	// Model is the assembled multi-level grid model.
+	Model model.GridModel
+	// Hockney holds the calibrated point-to-point parameters per leaf
+	// cluster, in tree order (diagnostic).
 	Hockney []model.Hockney
 }
 
-// NewPlanner characterizes every member network of the grid profile and
-// assembles the grid model. Identical member profiles (uniform grids)
-// are characterized once.
-func NewPlanner(gp cluster.GridProfile, opt Options) (*Planner, error) {
+// NewPlanner characterizes every member network and every WAN tier of
+// the topology and assembles the grid model. Identical member profiles
+// (uniform grids) are characterized once, as are structurally identical
+// subtrees during contention-factor fitting.
+func NewPlanner(topo cluster.TopoNode, opt Options) (*Planner, error) {
 	opt = opt.withDefaults()
-	if len(gp.Members) < 2 {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if topo.NumLeaves() < 2 {
 		// A single cluster is the paper's base case: use the plain
 		// contention signature, there is no WAN to characterize.
-		return nil, fmt.Errorf("grid: profile %q has %d member(s), planner needs at least 2", gp.Name, len(gp.Members))
+		return nil, fmt.Errorf("grid: topology %q has %d leaf cluster(s), planner needs at least 2",
+			topo.Name, topo.NumLeaves())
 	}
-	pl := &Planner{Profile: gp}
-	var gm model.GridModel
+	var checkGroups func(t cluster.TopoNode) error
+	checkGroups = func(t cluster.TopoNode) error {
+		if t.IsLeaf() {
+			return nil
+		}
+		if len(t.Children) < 2 {
+			return fmt.Errorf("grid: topology %q has a single-child tier, planner needs ≥ 2 subtrees per tier", topo.Name)
+		}
+		for _, c := range t.Children {
+			if err := checkGroups(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := checkGroups(topo); err != nil {
+		return nil, err
+	}
 
+	pl := &Planner{Topo: topo}
+
+	// Leaf characterization: ping-pong Hockney plus the paper's
+	// signature fit, cached on the full profile value (members sharing a
+	// name but not tuning must not share a fit).
 	type charac struct {
 		h   model.Hockney
 		sig model.Signature
 	}
-	// Keyed on the full profile value: members sharing a name but not
-	// tuning (e.g. a widened receive window) must not share a fit.
 	cache := map[cluster.Profile]charac{}
-	for _, mem := range gp.Members {
-		p := mem.Profile
-		ch, ok := cache[p]
-		if !ok {
-			h := calib.PingPong(p, mpi.Config{}, opt.Seed, calib.PingPongConfig{Reps: 3})
-			samples := make([]signature.Sample, 0, len(opt.FitSizes))
-			for i, m := range opt.FitSizes {
-				cl := cluster.Build(p, opt.FitN, opt.Seed+int64(i)*101)
-				w := mpi.NewWorld(cl, mpi.Config{})
-				meas := coll.Measure(w, 1, opt.Reps, func(r *mpi.Rank) {
-					coll.Alltoall(r, m, coll.PostAll)
-				})
-				samples = append(samples, signature.Sample{M: m, T: meas.Mean()})
-			}
-			sig, _, err := signature.Fit(h, opt.FitN, samples, signature.Options{})
-			if err != nil {
-				return nil, fmt.Errorf("grid: fitting %s: %w", p.Name, err)
-			}
-			ch = charac{h: h, sig: sig}
-			cache[p] = ch
+	for _, lf := range topo.Leaves() {
+		p := lf.Profile
+		if _, ok := cache[p]; ok {
+			continue
 		}
-		pl.Hockney = append(pl.Hockney, ch.h)
-		gm.Sizes = append(gm.Sizes, mem.Nodes)
-		gm.LAN = append(gm.LAN, ch.sig)
+		h := calib.PingPong(p, mpi.Config{}, opt.Seed, calib.PingPongConfig{Reps: 3})
+		samples := make([]signature.Sample, 0, len(opt.FitSizes))
+		for i, m := range opt.FitSizes {
+			cl := cluster.Build(p, opt.FitN, opt.Seed+int64(i)*101)
+			w := mpi.NewWorld(cl, mpi.Config{})
+			meas := coll.Measure(w, 1, opt.Reps, func(r *mpi.Rank) {
+				coll.Alltoall(r, m, coll.PostAll)
+			})
+			samples = append(samples, signature.Sample{M: m, T: meas.Mean()})
+		}
+		sig, _, err := signature.Fit(h, opt.FitN, samples, signature.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("grid: fitting %s: %w", p.Name, err)
+		}
+		cache[p] = charac{h: h, sig: sig}
 	}
-	// WAN path: empirical ping-pong curve over a one-node-per-cluster
-	// instance of the same grid, then the flat-exchange probe that fits
-	// the uplink contention factor γ_wan.
-	wan, err := characterizeWAN(gp, opt)
+	for _, lf := range topo.Leaves() {
+		pl.Hockney = append(pl.Hockney, cache[lf.Profile].h)
+	}
+
+	// Model tree mirroring the topology, with per-tier WAN curves
+	// measured on minimal instances of the grid. Structurally identical
+	// tiers share one measured curve through the cache.
+	curves := map[string]model.WANModel{}
+	root, err := buildModelTree(topo, 0, func(p cluster.Profile) model.Signature { return cache[p].sig }, topo, curves, opt)
 	if err != nil {
 		return nil, err
 	}
-	gm.Wan = wan
+	gm := model.GridModel{Root: root}
 	if err := gm.Validate(); err != nil {
 		return nil, err
 	}
-	gamma, omega, kappa, err := fitContentionFactors(gp, gm, opt)
+
+	// Contention factors: per-tier γ_wan from flat probes, innermost
+	// tiers first, then the strategy factors ω and κ on the whole tree.
+	fitted := map[string]float64{}
+	if err := fitTierGammas(topo, root, fitted, opt); err != nil {
+		return nil, err
+	}
+	omega, kappa, err := fitStrategyFactors(topo, gm, opt)
 	if err != nil {
 		return nil, err
 	}
-	gm.Wan.Gamma = gamma
 	gm.OverlapGamma = omega
 	gm.GatherGamma = kappa
 	pl.Model = gm
 	return pl, nil
 }
 
-// characterizeWAN measures the one-way WAN transfer curve between the
-// first two clusters of a minimal (one node per cluster) instance of
-// the grid — the same wires, routers and transport tuning as the real
-// deployment, so slow-start and window effects land in the curve — and
-// derives the wire-rate serialization floor from the profile.
-func characterizeWAN(gp cluster.GridProfile, opt Options) (model.WANModel, error) {
-	mini := gp
-	mini.Members = append([]cluster.GridMember(nil), gp.Members...)
-	for i := range mini.Members {
-		mini.Members[i].Nodes = 1
+// buildModelTree mirrors the topology into model nodes, measuring each
+// tier's WAN transfer curve as it goes. base is the global leaf index
+// of the subtree's first leaf; curves caches measurements across
+// structurally identical tiers (the probe path never leaves the
+// subtree, so isomorphic subtrees measure the same curve).
+func buildModelTree(t cluster.TopoNode, base int, sigOf func(cluster.Profile) model.Signature, full cluster.TopoNode, curves map[string]model.WANModel, opt Options) (*model.ModelNode, error) {
+	if t.IsLeaf() {
+		return model.LeafNode(t.Nodes, sigOf(t.Profile)), nil
 	}
-	g, err := cluster.BuildGrid(mini, opt.Seed+31)
+	v := &model.ModelNode{}
+	off := base
+	for _, c := range t.Children {
+		cm, err := buildModelTree(c, off, sigOf, full, curves, opt)
+		if err != nil {
+			return nil, err
+		}
+		v.Children = append(v.Children, cm)
+		off += c.NumLeaves()
+	}
+	key := topoKey(t)
+	if wan, ok := curves[key]; ok {
+		v.Wan = wan
+		return v, nil
+	}
+	// Probe between the first leaf of the tier's first child and the
+	// first leaf of its second child: their paths diverge at this tier.
+	wan, err := characterizeTier(full, t, base, base+t.Children[0].NumLeaves(), opt)
+	if err != nil {
+		return nil, err
+	}
+	curves[key] = wan
+	v.Wan = wan
+	return v, nil
+}
+
+// characterizeTier measures the one-way transfer curve of tier `node`:
+// a ping-pong between ranks a and b (leaves whose paths diverge at the
+// tier) on a minimal (one node per cluster) instance of the full
+// topology — the same wires, routers and transport tuning as the real
+// deployment, so slow-start and window effects land in the curve — and
+// derives the wire-rate serialization floor from the tier's link rate.
+// Each tier probes a freshly built mini grid on purpose: sharing one
+// warm world across tiers would let one probe's transport state (warmed
+// congestion windows on shared access links) bleed into the next
+// tier's curve.
+func characterizeTier(full cluster.TopoNode, node cluster.TopoNode, a, b int, opt Options) (model.WANModel, error) {
+	mini := cappedTree(full, 1)
+	g, err := cluster.BuildGridTree(mini, opt.Seed+31)
 	if err != nil {
 		return model.WANModel{}, err
 	}
@@ -200,23 +280,23 @@ func characterizeWAN(gp cluster.GridProfile, opt Options) (model.WANModel, error
 	times := make(map[int][]float64, len(sizes))
 	w := mpi.NewWorld(g.Env, mpi.Config{})
 	w.Run(func(r *mpi.Rank) {
-		if r.ID() > 1 {
+		if r.ID() != a && r.ID() != b {
 			return
 		}
 		for _, m := range sizes {
 			// One unmeasured repetition warms the congestion window,
 			// matching the warmed-up conditions of measured exchanges.
 			for rep := 0; rep <= opt.Reps; rep++ {
-				if r.ID() == 0 {
+				if r.ID() == a {
 					t0 := r.Now()
-					r.Send(1, tagWANProbe, m)
-					r.Recv(1, tagWANProbe)
+					r.Send(b, tagWANProbe, m)
+					r.Recv(b, tagWANProbe)
 					if rep > 0 {
 						times[m] = append(times[m], (r.Now()-t0).Seconds()/2)
 					}
 				} else {
-					r.Recv(0, tagWANProbe)
-					r.Send(0, tagWANProbe, m)
+					r.Recv(a, tagWANProbe)
+					r.Send(a, tagWANProbe, m)
 				}
 			}
 		}
@@ -234,16 +314,67 @@ func characterizeWAN(gp cluster.GridProfile, opt Options) (model.WANModel, error
 		curve = append(curve, model.WANPoint{Bytes: m, T: mean / float64(len(ts))})
 	}
 	return model.WANModel{
-		Curve:    curve,
-		BetaWire: wireGap(gp),
+		Curve: curve,
+		// The serialization floor uses the tier's own subtree profile:
+		// framing overhead may differ between branches of a mixed grid.
+		BetaWire: wireGap(node.Leaves()[0].Profile, node.WAN.Rate),
 		Gamma:    1,
 	}, nil
 }
 
-// wireGap returns the WAN uplink's per-byte serialization gap including
-// framing overhead. Grids are TCP-only (BuildGrid enforces it).
-func wireGap(gp cluster.GridProfile) float64 {
-	p := gp.Members[0].Profile
+// topoKey renders a subtree as a canonical string: profile and node
+// count at leaves, WAN parameters and child keys at groups. Used to
+// cache contention-factor fits across structurally identical subtrees;
+// node Names are informational and deliberately excluded, so sibling
+// tiers that differ only in their generated names share one fit.
+func topoKey(t cluster.TopoNode) string {
+	if t.IsLeaf() {
+		return fmt.Sprintf("L{%+v|%d}", t.Profile, t.Nodes)
+	}
+	key := fmt.Sprintf("G{%+v|", t.WAN)
+	for _, c := range t.Children {
+		key += topoKey(c) + ","
+	}
+	return key + "}"
+}
+
+// cappedTree copies a topology with every leaf capped to at most `cap`
+// nodes (cap < 1 means uncapped).
+func cappedTree(t cluster.TopoNode, cap int) cluster.TopoNode {
+	if t.IsLeaf() {
+		if cap >= 1 && t.Nodes > cap {
+			t.Nodes = cap
+		}
+		return t
+	}
+	children := make([]cluster.TopoNode, len(t.Children))
+	for i, c := range t.Children {
+		children[i] = cappedTree(c, cap)
+	}
+	t.Children = children
+	return t
+}
+
+// cappedModel clones a model subtree with leaf sizes matching
+// cappedTree(topo, cap).
+func cappedModel(v *model.ModelNode, cap int) *model.ModelNode {
+	if v.IsLeaf() {
+		size := v.Size
+		if cap >= 1 && size > cap {
+			size = cap
+		}
+		return model.LeafNode(size, v.LAN)
+	}
+	out := &model.ModelNode{Wan: v.Wan}
+	for _, c := range v.Children {
+		out.Children = append(out.Children, cappedModel(c, cap))
+	}
+	return out
+}
+
+// wireGap returns a WAN link's per-byte serialization gap including
+// framing overhead. Grids are TCP-only (BuildGridTree enforces it).
+func wireGap(p cluster.Profile, rate int64) float64 {
 	tcp := transport.DefaultTCPConfig()
 	mss, hdr := tcp.MSS, tcp.HeaderSize
 	if p.TCP.MSS > 0 {
@@ -252,71 +383,85 @@ func wireGap(gp cluster.GridProfile) float64 {
 	if p.TCP.HeaderSize > 0 {
 		hdr = p.TCP.HeaderSize
 	}
-	return float64(mss+hdr) / float64(mss) / float64(gp.WAN.Rate)
+	return float64(mss+hdr) / float64(mss) / float64(rate)
 }
 
-// fitContentionFactors runs each strategy once on a capped probe grid
-// and inverts the model decompositions for the contention factors the
-// analytics cannot supply — the grid analogue of fitting γ at a modest
-// n′ and extrapolating. Each strategy has one fitted hotspot factor:
-//
-//	γ_wan  flat:        shared-uplink inflation under uncoordinated flows
-//	ω      hier-direct: WAN-leg inflation from overlapped LAN traffic
-//	κ      hier-gather: coordinator-incast inflation of the synchronized
-//	                    gather/scatter phases
-func fitContentionFactors(gp cluster.GridProfile, gm model.GridModel, opt Options) (gamma, omega, kappa float64, err error) {
-	probe := gp
-	probe.Members = append([]cluster.GridMember(nil), gp.Members...)
-	probeModel := gm
-	probeModel.Sizes = append([]int(nil), gm.Sizes...)
-	// The probe keeps the grid's shape but caps cluster sizes: large
-	// enough that uplink sharing and LAN/WAN overlap interference show
-	// up, small enough to stay affordable.
-	for i := range probe.Members {
-		n := probe.Members[i].Nodes
-		if n > 4 {
-			n = 4
-		}
-		probe.Members[i].Nodes = n
-		probeModel.Sizes[i] = n
+// clampGamma bounds a fitted contention factor.
+func clampGamma(v float64) float64 {
+	if v < 1 {
+		return 1
 	}
-	clamp := func(v float64) float64 {
-		if v < 1 {
-			return 1
-		}
-		if v > 50 {
-			return 50
-		}
-		return v
+	if v > 50 {
+		return 50
 	}
+	return v
+}
 
-	gamma = 1
-	simFlat, err := Simulate(probe, FlatDirect, opt.ProbeSize, opt.Seed+53, 1, opt.Reps)
+// fitTierGammas fits every tier's flat-exchange contention factor
+// γ_wan, innermost tiers first: each tier is probed with a capped flat
+// exchange on its own subtree, and the model decomposition — whose
+// inner tiers already carry their fitted factors — is inverted for the
+// tier's residual inflation. Structurally identical subtrees share one
+// fit through the cache.
+func fitTierGammas(topo cluster.TopoNode, mod *model.ModelNode, cache map[string]float64, opt Options) error {
+	if topo.IsLeaf() {
+		return nil
+	}
+	for i := range topo.Children {
+		if err := fitTierGammas(topo.Children[i], mod.Children[i], cache, opt); err != nil {
+			return err
+		}
+	}
+	probeTopo := cappedTree(topo, opt.ProbeCap)
+	key := topoKey(probeTopo)
+	if gamma, ok := cache[key]; ok {
+		mod.Wan.Gamma = gamma
+		return nil
+	}
+	probeModel := model.GridModel{Root: cappedModel(mod, opt.ProbeCap)}
+	sim, err := Simulate(probeTopo, FlatDirect, opt.ProbeSize, opt.Seed+53, 1, opt.Reps)
 	if err != nil {
-		return 0, 0, 0, err
+		return err
 	}
-	if lan, startup, wan := probeModel.FlatParts(opt.ProbeSize); wan > 0 {
-		gamma = clamp((simFlat - lan - startup) / wan)
+	gamma := 1.0
+	if fixed, startup, rootWan := probeModel.FlatParts(opt.ProbeSize); rootWan > 0 {
+		gamma = clampGamma((sim - fixed - startup) / rootWan)
 	}
+	mod.Wan.Gamma = gamma
+	cache[key] = gamma
+	return nil
+}
+
+// fitStrategyFactors runs the two hierarchical strategies once on a
+// capped probe grid and inverts the model decompositions for the
+// factors the analytics cannot supply — the grid analogue of fitting γ
+// at a modest n′ and extrapolating:
+//
+//	ω  hier-direct: WAN-leg inflation from overlapped LAN traffic
+//	κ  hier-gather: coordinator-incast inflation of the synchronized
+//	   gather/scatter phases
+func fitStrategyFactors(topo cluster.TopoNode, gm model.GridModel, opt Options) (omega, kappa float64, err error) {
+	probeTopo := cappedTree(topo, opt.ProbeCap)
+	probeModel := model.GridModel{Root: cappedModel(gm.Root, opt.ProbeCap)}
 
 	omega = 1
-	simHD, err := Simulate(probe, HierDirect, opt.ProbeSize, opt.Seed+71, 1, opt.Reps)
+	simHD, err := Simulate(probeTopo, HierDirect, opt.ProbeSize, opt.Seed+71, 1, opt.Reps)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, err
 	}
 	if phase0, xchg, scatter := probeModel.HierDirectParts(opt.ProbeSize); xchg > 0 {
-		omega = clamp((simHD - phase0 - scatter) / xchg)
+		omega = clampGamma((simHD - phase0 - scatter) / xchg)
 	}
 
 	kappa = 1
-	simHG, err := Simulate(probe, HierGather, opt.ProbeSize, opt.Seed+89, 1, opt.Reps)
+	simHG, err := Simulate(probeTopo, HierGather, opt.ProbeSize, opt.Seed+89, 1, opt.Reps)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, err
 	}
 	if intra, xchg, local := probeModel.HierGatherParts(opt.ProbeSize); local > 0 {
-		kappa = clamp((simHG - intra - xchg) / local)
+		kappa = clampGamma((simHG - intra - xchg) / local)
 	}
-	return gamma, omega, kappa, nil
+	return omega, kappa, nil
 }
 
 // Prediction is one strategy's predicted completion time.
@@ -340,11 +485,11 @@ func (pl *Planner) Predict(m int) []Prediction {
 // Best returns the predicted-fastest strategy for message size m.
 func (pl *Planner) Best(m int) Prediction { return pl.Predict(m)[0] }
 
-// Simulate builds the grid and measures one strategy's All-to-All
+// Simulate builds the topology and measures one strategy's All-to-All
 // completion time in full packet-level simulation — the planner's ground
 // truth for validation.
-func Simulate(gp cluster.GridProfile, strat Strategy, m int, seed int64, warmup, reps int) (float64, error) {
-	g, err := cluster.BuildGrid(gp, seed)
+func Simulate(topo cluster.TopoNode, strat Strategy, m int, seed int64, warmup, reps int) (float64, error) {
+	g, err := cluster.BuildGridTree(topo, seed)
 	if err != nil {
 		return 0, err
 	}
@@ -357,7 +502,7 @@ func Simulate(gp cluster.GridProfile, strat Strategy, m int, seed int64, warmup,
 		if strat == HierDirect {
 			alg = coll.HierDirect
 		}
-		plan := coll.PlanHier(coll.NewPlacement(g.ClusterOf), alg)
+		plan := coll.PlanHierTree(coll.GridSpec(g), alg)
 		op = func(r *mpi.Rank) { coll.AlltoallHierPlanned(r, plan, m) }
 	default:
 		return 0, fmt.Errorf("grid: unknown strategy %v", strat)

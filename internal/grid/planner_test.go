@@ -1,18 +1,21 @@
 package grid
 
 import (
-	"sort"
 	"testing"
 
 	"repro/internal/cluster"
 	"repro/internal/sim"
 )
 
-// testGrid is the acceptance scenario: two clusters over a ≥10 ms WAN.
-func testGrid() cluster.GridProfile {
-	p := cluster.GigabitEthernet()
-	p.TCP.RcvWindow = 256 << 10 // long-fat-pipe tuning
-	return cluster.Uniform("test-grid", p, 2, 3, cluster.DefaultWAN(20*sim.Millisecond))
+// wanTunedGE is the Gigabit Ethernet profile with long-fat-pipe tuning.
+func wanTunedGE() cluster.Profile {
+	return cluster.WANTuned(cluster.GigabitEthernet())
+}
+
+// testTopo is the two-level scenario: two clusters over a ≥10 ms WAN —
+// the PR 1 acceptance grid, now expressed as a depth-1 tree.
+func testTopo() cluster.TopoNode {
+	return cluster.Uniform("test-grid", wanTunedGE(), 2, 3, cluster.DefaultWAN(20*sim.Millisecond)).Tree()
 }
 
 // cheapOptions keeps characterization affordable in CI.
@@ -27,11 +30,11 @@ func cheapOptions() Options {
 }
 
 func TestPlannerCharacterization(t *testing.T) {
-	pl, err := NewPlanner(testGrid(), cheapOptions())
+	pl, err := NewPlanner(testTopo(), cheapOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	wan := pl.Model.Wan
+	wan := pl.Model.Root.Wan
 	if len(wan.Curve) != 4 {
 		t.Fatalf("WAN curve has %d points, want 4", len(wan.Curve))
 	}
@@ -45,45 +48,76 @@ func TestPlannerCharacterization(t *testing.T) {
 	if got := pl.Model.TotalNodes(); got != 6 {
 		t.Fatalf("model covers %d nodes, want 6", got)
 	}
-	for c, sig := range pl.Model.LAN {
-		if sig.Gamma < 1 {
-			t.Fatalf("cluster %d signature γ = %v < 1", c, sig.Gamma)
+	leaves := pl.Model.Leaves()
+	for c, lf := range leaves {
+		if lf.LAN.Gamma < 1 {
+			t.Fatalf("cluster %d signature γ = %v < 1", c, lf.LAN.Gamma)
 		}
 	}
 	// Uniform grids characterize the member profile once; both entries
 	// must be identical.
-	if pl.Model.LAN[0] != pl.Model.LAN[1] {
+	if leaves[0].LAN != leaves[1].LAN {
 		t.Fatal("uniform grid re-characterized an identical member profile")
 	}
 }
 
-// TestPlannerRankingMatchesSimulation is the subsystem's acceptance
-// test: across a message-size sweep on a two-cluster grid over a 20 ms
-// WAN, the planner's predicted completion times must rank the three
-// strategies in the same order as packet-level simulation (simulated
-// times averaged over seeds, since single lossy-TCP runs are noisy).
-func TestPlannerRankingMatchesSimulation(t *testing.T) {
-	p := cluster.GigabitEthernet()
-	p.TCP.RcvWindow = 256 << 10
-	gp := cluster.Uniform("accept-grid", p, 2, 6, cluster.DefaultWAN(20*sim.Millisecond))
-	pl, err := NewPlanner(gp, Options{FitN: 8, Reps: 2, Seed: 3})
+// TestPlanner3LevelCharacterization: on a 3-level tree every tier gets
+// its own curve, and the continental tier's start-up must exceed the
+// campus tier's.
+func TestPlanner3LevelCharacterization(t *testing.T) {
+	topo := cluster.ThreeLevel("char3", wanTunedGE(), 2, 2, 2,
+		cluster.DefaultWAN(10*sim.Millisecond), cluster.DefaultWAN(50*sim.Millisecond))
+	pl, err := NewPlanner(topo, cheapOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, m := range []int{16 << 10, 48 << 10} {
+	root := pl.Model.Root
+	if root.Height() != 2 {
+		t.Fatalf("model height %d, want 2", root.Height())
+	}
+	if root.Wan.Alpha() < 0.050 {
+		t.Fatalf("continental α = %v, below the 50 ms propagation delay", root.Wan.Alpha())
+	}
+	for i, nation := range root.Children {
+		if nation.Wan.Alpha() < 0.010 {
+			t.Fatalf("nation %d campus α = %v, below the 10 ms propagation delay", i, nation.Wan.Alpha())
+		}
+		if nation.Wan.Alpha() >= root.Wan.Alpha() {
+			t.Fatalf("nation %d campus α %v not below continental α %v",
+				i, nation.Wan.Alpha(), root.Wan.Alpha())
+		}
+		if nation.Wan.Gamma < 1 {
+			t.Fatalf("nation %d γ_wan = %v, must be ≥ 1", i, nation.Wan.Gamma)
+		}
+	}
+	// Uniform nations: the tier fit must be shared, not re-run.
+	if root.Children[0].Wan.Gamma != root.Children[1].Wan.Gamma {
+		t.Fatal("identical nation subtrees fitted different γ_wan")
+	}
+}
+
+// rankingMatchesSimulation asserts the planner's predicted strategy
+// order equals packet-level simulation's at every message size
+// (simulated times averaged over seeds, since single lossy-TCP runs are
+// RTO-noisy). Strategy pairs whose simulated times lie within tieFrac
+// of each other are statistical ties and exempt from the order check —
+// a coin-flip between near-equal strategies is not a planner error.
+func rankingMatchesSimulation(t *testing.T, topo cluster.TopoNode, pl *Planner, msgs []int, tieFrac float64) {
+	t.Helper()
+	for _, m := range msgs {
 		preds := pl.Predict(m)
 		if len(preds) != len(Strategies) {
 			t.Fatalf("m=%d: %d predictions, want %d", m, len(preds), len(Strategies))
 		}
-		type ranked struct {
-			s Strategy
-			t float64
+		predT := map[Strategy]float64{}
+		for _, pr := range preds {
+			predT[pr.Strategy] = pr.T
 		}
-		var sims []ranked
+		simT := map[Strategy]float64{}
 		for _, s := range Strategies {
 			mean := 0.0
 			for _, seed := range []int64{7, 19} {
-				st, err := Simulate(gp, s, m, seed, 1, 2)
+				st, err := Simulate(topo, s, m, seed, 1, 2)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -92,31 +126,101 @@ func TestPlannerRankingMatchesSimulation(t *testing.T) {
 				}
 				mean += st
 			}
-			sims = append(sims, ranked{s, mean / 2})
+			simT[s] = mean / 2
 		}
-		sort.SliceStable(sims, func(i, j int) bool { return sims[i].t < sims[j].t })
-		for i := range preds {
-			if preds[i].Strategy != sims[i].s {
-				t.Fatalf("m=%d: predicted order %v... differs from simulated order %v... (pred=%v sim=%v)",
-					m, preds[i].Strategy, sims[i].s, preds, sims)
+		for _, a := range Strategies {
+			for _, b := range Strategies {
+				sa, sb := simT[a], simT[b]
+				if sa >= sb || sb-sa <= tieFrac*sb {
+					continue // not a decisively ordered pair
+				}
+				if predT[a] >= predT[b] {
+					t.Fatalf("m=%d: simulation has %v (%.3fs) decisively before %v (%.3fs), planner predicts %.3fs vs %.3fs",
+						m, a, sa, b, sb, predT[a], predT[b])
+				}
 			}
 		}
-		if best := pl.Best(m); best.Strategy != sims[0].s {
-			t.Fatalf("m=%d: Best() = %v, simulation says %v", m, best.Strategy, sims[0].s)
+		// The predicted best must be the simulated best, or tied with it.
+		best := pl.Best(m).Strategy
+		simBest := Strategies[0]
+		for _, s := range Strategies {
+			if simT[s] < simT[simBest] {
+				simBest = s
+			}
+		}
+		if best != simBest && simT[best]-simT[simBest] > tieFrac*simT[best] {
+			t.Fatalf("m=%d: Best() = %v (sim %.3fs), simulation says %v (%.3fs)",
+				m, best, simT[best], simBest, simT[simBest])
 		}
 	}
 }
 
+// TestPlannerRankingMatchesSimulation is the two-level acceptance test
+// (and the depth-2 regression for the recursive rewrite): across a
+// message-size sweep on a two-cluster grid over a 20 ms WAN, the
+// planner's predicted completion times must rank the three strategies
+// in the same order as packet-level simulation.
+func TestPlannerRankingMatchesSimulation(t *testing.T) {
+	topo := cluster.Uniform("accept-grid", wanTunedGE(), 2, 6, cluster.DefaultWAN(20*sim.Millisecond)).Tree()
+	pl, err := NewPlanner(topo, Options{FitN: 8, Reps: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rankingMatchesSimulation(t, topo, pl, []int{16 << 10, 48 << 10}, 0)
+}
+
+// TestPlannerRankingMatchesSimulation3Level extends the acceptance to
+// two 3-level (campus → national → continental) topologies over
+// different member networks. Message sizes bracket the calibration
+// probe: per-tier contention factors are fitted at one probe size, so
+// sizes deep in the RTO-noisy small-message regime (where completion is
+// dominated by retransmission-timeout chaos the per-level curves cannot
+// see — the known limitation GR1 documents for two-level grids) are not
+// acceptance material; 48–96 KiB is the regime the model claims.
+func TestPlannerRankingMatchesSimulation3Level(t *testing.T) {
+	fe := cluster.WANTuned(cluster.FastEthernet())
+	for _, tc := range []struct {
+		name string
+		topo cluster.TopoNode
+		msgs []int
+	}{
+		{
+			name: "ge-uniform",
+			topo: cluster.ThreeLevel("accept3-ge", wanTunedGE(), 2, 2, 3,
+				cluster.DefaultWAN(10*sim.Millisecond), cluster.DefaultWAN(40*sim.Millisecond)),
+			msgs: []int{48 << 10, 64 << 10},
+		},
+		{
+			name: "fe-uniform",
+			topo: cluster.ThreeLevel("accept3-fe", fe, 2, 2, 4,
+				cluster.DefaultWAN(10*sim.Millisecond), cluster.DefaultWAN(30*sim.Millisecond)),
+			msgs: []int{64 << 10, 96 << 10},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pl, err := NewPlanner(tc.topo, Options{FitN: 6, Reps: 2, Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rankingMatchesSimulation(t, tc.topo, pl, tc.msgs, 0.08)
+		})
+	}
+}
+
 func TestSimulateRejectsUnknownStrategy(t *testing.T) {
-	if _, err := Simulate(testGrid(), Strategy(99), 1024, 1, 0, 1); err == nil {
+	if _, err := Simulate(testTopo(), Strategy(99), 1024, 1, 0, 1); err == nil {
 		t.Fatal("unknown strategy must error")
 	}
 }
 
 func TestPlannerRejectsSingleCluster(t *testing.T) {
-	gp := cluster.Uniform("solo", cluster.GigabitEthernet(), 1, 4,
-		cluster.DefaultWAN(10*sim.Millisecond))
-	if _, err := NewPlanner(gp, cheapOptions()); err == nil {
-		t.Fatal("single-cluster grid must be rejected with an error, not a panic")
+	solo := cluster.Leaf(wanTunedGE(), 4)
+	if _, err := NewPlanner(solo, cheapOptions()); err == nil {
+		t.Fatal("single-cluster topology must be rejected with an error, not a panic")
+	}
+	oneChild := cluster.Group("one", cluster.DefaultWAN(10*sim.Millisecond),
+		cluster.Leaf(wanTunedGE(), 4))
+	if _, err := NewPlanner(oneChild, cheapOptions()); err == nil {
+		t.Fatal("single-child tier must be rejected with an error, not a panic")
 	}
 }

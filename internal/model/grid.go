@@ -3,32 +3,38 @@ package model
 import "fmt"
 
 // Grid extension of the contention model: the paper's single-cluster
-// signature T(n,m) = (n−1)(α+mβ)γ [+ (n−1)δ] composes with a WAN term
-// into completion-time predictions for All-to-All over a multi-cluster
-// grid. Three strategies are modeled:
+// signature T(n,m) = (n−1)(α+mβ)γ [+ (n−1)δ] composes with per-level
+// WAN terms into completion-time predictions for All-to-All over a
+// multi-level grid — a recursive tree of clusters joined by WAN tiers
+// (campus → national → continental). Three strategies are modeled:
 //
 //   - flat direct exchange, where every inter-cluster block is its own
-//     message through the shared WAN uplink;
-//   - hierarchical gather / coordinator exchange / scatter (sequential
-//     phases);
+//     message through the shared WAN uplinks of every tier it crosses;
+//   - hierarchical gather / per-tier coordinator exchange / scatter
+//     (sequential phases);
 //   - hierarchical direct (intra-cluster exchange overlapped with the
 //     coordinator relay).
 //
-// The WAN term follows the paper's methodology rather than first
-// principles: the path is characterized empirically by a ping-pong
-// transfer-time curve (which automatically captures propagation, router
-// forwarding, transport slow-start and the per-flow window cap over a
-// long-fat pipe), and the flat exchange's loss-recovery chaos on the
-// shared uplink buffer is summarized by a fitted contention factor
-// γ_wan, exactly as γ summarizes it inside a cluster.
+// The WAN terms follow the paper's methodology rather than first
+// principles: each tier's path is characterized empirically by a
+// ping-pong transfer-time curve (which automatically captures
+// propagation, router forwarding, transport slow-start and the per-flow
+// window cap over a long-fat pipe), and the flat exchange's
+// loss-recovery chaos on each tier's shared uplink buffers is summarized
+// by a fitted per-level contention factor γ_wan, exactly as γ summarizes
+// it inside a cluster. Predictions sum per-level transfer-curve
+// contributions: traffic whose endpoints diverge at tier t is charged to
+// tier t's curve (which, being measured end to end, already includes the
+// lower tiers it transits).
 
-// WANPoint is one measured point of the WAN transfer curve.
+// WANPoint is one measured point of a WAN transfer curve.
 type WANPoint struct {
 	Bytes int
 	T     float64 // one-way transfer time (s)
 }
 
-// WANModel describes the wide-area path between two clusters.
+// WANModel describes the wide-area paths of one grid tier: the curve
+// between two subtrees joined at that tier.
 type WANModel struct {
 	// Curve is the measured one-way transfer-time curve of a single
 	// flow, ascending in Bytes. Queries interpolate linearly and
@@ -38,9 +44,9 @@ type WANModel struct {
 	// BetaWire is the inverse uplink rate in s/B including framing
 	// overhead: the serialization floor shared by all concurrent flows.
 	BetaWire float64
-	// Gamma is the contention factor charged to the flat exchange's
-	// uncoordinated flows on the shared uplink (≥ 1), fitted from a
-	// small probe grid like the paper fits γ at n'.
+	// Gamma is the per-level contention factor charged to the flat
+	// exchange's uncoordinated flows on this tier's shared uplinks
+	// (≥ 1), fitted from a small probe grid like the paper fits γ at n'.
 	Gamma float64
 }
 
@@ -69,7 +75,7 @@ func (w WANModel) BetaSteady() float64 {
 	return slope
 }
 
-// Transfer predicts one flow moving `bytes` one way across the WAN by
+// Transfer predicts one flow moving `bytes` one way across the tier by
 // interpolating the measured curve.
 func (w WANModel) Transfer(bytes int) float64 {
 	if bytes <= 0 || len(w.Curve) == 0 {
@@ -104,18 +110,83 @@ func (w WANModel) TransferShared(flows, bytesPerFlow int) float64 {
 	return perFlow
 }
 
-// GridModel predicts All-to-All completion times on a two-level grid:
-// per-cluster contention signatures below, a WAN model between border
-// routers above.
+// ModelNode is one node of a grid model tree, mirroring the topology
+// tree the predictions are for. Exactly one form is populated:
+//
+//   - leaf: Size nodes whose local network obeys the contention
+//     signature LAN;
+//   - group: Children joined by a WAN tier modeled by Wan.
+type ModelNode struct {
+	// Size and LAN describe a leaf cluster.
+	Size int
+	LAN  Signature
+
+	// Children and Wan describe a group tier.
+	Children []*ModelNode
+	Wan      WANModel
+}
+
+// LeafNode returns a leaf model node.
+func LeafNode(size int, lan Signature) *ModelNode {
+	return &ModelNode{Size: size, LAN: lan}
+}
+
+// GroupNode returns a group model node joining children through a tier.
+func GroupNode(wan WANModel, children ...*ModelNode) *ModelNode {
+	return &ModelNode{Children: children, Wan: wan}
+}
+
+// IsLeaf reports whether the node is a leaf cluster.
+func (v *ModelNode) IsLeaf() bool { return len(v.Children) == 0 }
+
+// TotalNodes sums leaf sizes over the subtree.
+func (v *ModelNode) TotalNodes() int {
+	if v.IsLeaf() {
+		return v.Size
+	}
+	n := 0
+	for _, c := range v.Children {
+		n += c.TotalNodes()
+	}
+	return n
+}
+
+// Height returns the number of WAN tiers above the deepest leaf of the
+// subtree (0 for a leaf).
+func (v *ModelNode) Height() int {
+	h := 0
+	for _, c := range v.Children {
+		if ch := c.Height() + 1; ch > h {
+			h = ch
+		}
+	}
+	return h
+}
+
+// Leaves returns the subtree's leaves in tree order.
+func (v *ModelNode) Leaves() []*ModelNode {
+	if v.IsLeaf() {
+		return []*ModelNode{v}
+	}
+	var out []*ModelNode
+	for _, c := range v.Children {
+		out = append(out, c.Leaves()...)
+	}
+	return out
+}
+
+// GridModel predicts All-to-All completion times on a multi-level grid:
+// per-cluster contention signatures at the leaves, one WAN model (curve
+// plus per-level contention factor) per tier above them.
 type GridModel struct {
-	Sizes []int       // nodes per cluster
-	LAN   []Signature // per-cluster contention signature
-	Wan   WANModel
-	// OverlapGamma inflates the hier-direct WAN exchange leg (≥ 1):
+	// Root is the model tree. A lone leaf degenerates to the paper's
+	// single-cluster signature prediction.
+	Root *ModelNode
+	// OverlapGamma inflates the hier-direct WAN exchange legs (≥ 1):
 	// with the intra-cluster exchange still churning the LAN, inbound
 	// WAN packets get dropped at the edge and the wide-area flows pay
-	// loss recovery. Fitted from a probe grid, like Wan.Gamma; values
-	// < 1 are treated as 1.
+	// loss recovery. Fitted from a probe grid, like the per-level
+	// Wan.Gamma; values < 1 are treated as 1.
 	OverlapGamma float64
 	// GatherGamma inflates the hier-gather gather and scatter legs
 	// (≥ 1): the strict phase structure synchronizes the s−1 local
@@ -124,145 +195,271 @@ type GridModel struct {
 	GatherGamma float64
 }
 
+// TwoLevel builds the flat two-level model (the pre-recursive GridModel
+// shape): leaf clusters of the given sizes and signatures under one WAN
+// tier. It panics when sizes and signatures disagree in length — a
+// missing signature would otherwise silently predict that cluster's LAN
+// as free.
+func TwoLevel(sizes []int, lan []Signature, wan WANModel) GridModel {
+	if len(sizes) != len(lan) {
+		panic(fmt.Sprintf("model: %d cluster sizes but %d LAN signatures", len(sizes), len(lan)))
+	}
+	root := &ModelNode{Wan: wan}
+	for i, s := range sizes {
+		root.Children = append(root.Children, LeafNode(s, lan[i]))
+	}
+	return GridModel{Root: root}
+}
+
 // Validate checks structural consistency.
 func (g GridModel) Validate() error {
-	if len(g.Sizes) == 0 {
-		return fmt.Errorf("model: grid with no clusters")
+	if g.Root == nil {
+		return fmt.Errorf("model: grid with no topology")
 	}
-	if len(g.Sizes) != len(g.LAN) {
-		return fmt.Errorf("model: %d cluster sizes but %d LAN signatures", len(g.Sizes), len(g.LAN))
-	}
-	for c, s := range g.Sizes {
-		if s < 1 {
-			return fmt.Errorf("model: cluster %d has %d nodes", c, s)
+	var walk func(v *ModelNode) error
+	walk = func(v *ModelNode) error {
+		if v.IsLeaf() {
+			if v.Size < 1 {
+				return fmt.Errorf("model: leaf cluster has %d nodes", v.Size)
+			}
+			return nil
 		}
+		if v.Size != 0 {
+			return fmt.Errorf("model: group node sets Size")
+		}
+		for _, c := range v.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	return nil
+	return walk(g.Root)
 }
 
 // TotalNodes sums cluster sizes.
-func (g GridModel) TotalNodes() int {
-	n := 0
-	for _, s := range g.Sizes {
-		n += s
-	}
-	return n
-}
+func (g GridModel) TotalNodes() int { return g.Root.TotalNodes() }
+
+// Leaves returns the model's leaf clusters in tree order.
+func (g GridModel) Leaves() []*ModelNode { return g.Root.Leaves() }
 
 // intra returns the worst per-cluster intra-exchange time: each cluster
 // runs a local All-to-All among its own ranks, predicted by its
 // contention signature.
 func (g GridModel) intra(m int) float64 {
 	worst := 0.0
-	for c, s := range g.Sizes {
-		if t := g.LAN[c].Predict(s, m); t > worst {
+	for _, lf := range g.Leaves() {
+		if t := lf.LAN.Predict(lf.Size, m); t > worst {
 			worst = t
 		}
 	}
 	return worst
 }
 
-// FlatParts decomposes the flat-exchange prediction at γ_wan = 1 for
-// the worst cluster: the local LAN term, the per-round WAN start-ups,
-// and the WAN transfer term that Gamma multiplies. Planner calibration
-// inverts this decomposition to fit Gamma from a probe measurement.
-func (g GridModel) FlatParts(m int) (lan, startup, wan float64) {
-	n := g.TotalNodes()
-	worst := 0.0
-	for c, s := range g.Sizes {
-		remote := n - s
-		clan := g.LAN[c].Predict(s, m)
-		if remote == 0 {
-			if clan > worst {
-				worst, lan, startup, wan = clan, clan, 0, 0
+// FlatParts decomposes the flat-exchange prediction for the worst leaf
+// cluster: `fixed` is the local LAN term plus the γ-weighted WAN terms
+// of every tier below the root (already fitted when the root is being
+// calibrated bottom-up), `startup` the per-round WAN start-ups across
+// all tiers, and `rootWan` the root tier's transfer term — the one the
+// root's Gamma multiplies. Planner calibration inverts this
+// decomposition to fit each tier's Gamma from a probe measurement,
+// innermost tiers first.
+func (g GridModel) FlatParts(m int) (fixed, startup, rootWan float64) {
+	worst := -1.0
+	var walkLeaf func(lf *ModelNode, ancestors []*ModelNode, childAt []*ModelNode)
+	walkLeaf = func(lf *ModelNode, ancestors []*ModelNode, childAt []*ModelNode) {
+		clan := lf.LAN.Predict(lf.Size, m)
+		cfixed, cstart, croot := clan, 0.0, 0.0
+		for i, a := range ancestors {
+			c := childAt[i]
+			lcaCount := a.TotalNodes() - c.TotalNodes()
+			if lcaCount == 0 {
+				continue
 			}
-			continue
+			flows := c.TotalNodes() * lcaCount
+			cstart += float64(lcaCount) * a.Wan.Alpha()
+			wan := a.Wan.TransferShared(flows, m) - a.Wan.Alpha()
+			if a == g.Root {
+				croot = wan
+			} else {
+				gamma := a.Wan.Gamma
+				if gamma < 1 {
+					gamma = 1
+				}
+				cfixed += wan * gamma
+			}
 		}
-		// Every rank runs `remote` WAN rounds, paying the one-way
-		// start-up per round; the cluster's s·remote blocks serialize
-		// through the uplink at the steady shared gap.
-		cstart := float64(remote) * g.Wan.Alpha()
-		cwan := g.Wan.TransferShared(s*remote, m) - g.Wan.Alpha()
-		if t := clan + cstart + cwan; t > worst {
-			worst, lan, startup, wan = t, clan, cstart, cwan
+		if t := cfixed + cstart + croot; t > worst {
+			worst, fixed, startup, rootWan = t, cfixed, cstart, croot
 		}
 	}
-	return lan, startup, wan
+	var walk func(v *ModelNode, ancestors, childAt []*ModelNode)
+	walk = func(v *ModelNode, ancestors, childAt []*ModelNode) {
+		if v.IsLeaf() {
+			walkLeaf(v, ancestors, childAt)
+			return
+		}
+		for _, c := range v.Children {
+			// Ancestors are ordered outermost-first; childAt[i] is the
+			// child of ancestors[i] the leaf sits under.
+			walk(c, append(append([]*ModelNode(nil), ancestors...), v),
+				append(append([]*ModelNode(nil), childAt...), c))
+		}
+	}
+	walk(g.Root, nil, nil)
+	return fixed, startup, rootWan
 }
 
 // PredictFlat models the flat direct exchange: intra-cluster traffic
-// behaves per the local signature, every rank pays the WAN start-up for
-// each of its remote rounds, and the cluster's inter-cluster volume
-// crosses the shared uplink inflated by the fitted contention factor.
+// behaves per the local signature, every rank pays the start-up of each
+// of its remote rounds at the tier where the pair diverges, and each
+// tier's crossing volume serializes through its shared uplinks inflated
+// by that tier's fitted contention factor.
 func (g GridModel) PredictFlat(m int) float64 {
 	if g.TotalNodes() <= 1 {
 		return 0
 	}
-	gamma := g.Wan.Gamma
-	if gamma < 1 {
-		gamma = 1
+	fixed, startup, rootWan := g.FlatParts(m)
+	gamma := 1.0
+	if !g.Root.IsLeaf() {
+		if gamma = g.Root.Wan.Gamma; gamma < 1 {
+			gamma = 1
+		}
 	}
-	lan, startup, wan := g.FlatParts(m)
-	return lan + startup + wan*gamma
+	return fixed + startup + rootWan*gamma
 }
 
-// relay returns the coordinator-relay phase times (gather, exchange,
-// scatter), each the worst over clusters, for per-pair size m.
-func (g GridModel) relay(m int) (gather, xchg, scatter float64) {
-	n := g.TotalNodes()
-	for c, s := range g.Sizes {
-		remote := n - s
-		if remote == 0 {
-			continue
-		}
-		h := g.LAN[c].H
-		// Gather and scatter: s−1 local transfers of the rank's entire
-		// remote-bound volume, serialized at the coordinator's NIC.
-		if s > 1 {
-			t := float64(s-1) * (h.Alpha + float64(remote*m)*h.Beta)
-			if t > gather {
-				gather = t
-			}
-			if t > scatter {
-				scatter = t
-			}
-		}
-		// Exchange: one aggregated message per remote cluster, posted
-		// concurrently; per-flow curve limit vs aggregate wire limit.
+// exchangeAt returns the worst-child time of the aggregated coordinator
+// exchange at group tier v: one message per sibling pair, posted
+// concurrently; per-flow curve limit vs aggregate wire limit.
+func (g GridModel) exchangeAt(v *ModelNode, m int) float64 {
+	worst := 0.0
+	for _, c := range v.Children {
 		maxPer, total := 0, 0
-		for d, sd := range g.Sizes {
+		for _, d := range v.Children {
 			if d != c {
-				b := s * sd * m
+				b := c.TotalNodes() * d.TotalNodes() * m
 				total += b
 				if b > maxPer {
 					maxPer = b
 				}
 			}
 		}
-		perFlow := g.Wan.Transfer(maxPer)
-		wire := g.Wan.Alpha() + float64(total)*g.Wan.BetaWire
+		if total == 0 {
+			continue
+		}
+		perFlow := v.Wan.Transfer(maxPer)
+		wire := v.Wan.Alpha() + float64(total)*v.Wan.BetaWire
 		t := perFlow
 		if wire > t {
 			t = wire
 		}
-		if t > xchg {
-			xchg = t
+		if t > worst {
+			worst = t
 		}
 	}
-	return gather, xchg, scatter
+	return worst
+}
+
+// collectAt returns the incast time of the upward gather into tier v's
+// coordinator (or, symmetrically, the downward scatter from it): every
+// child except the coordinator's own forwards its subtree's
+// outside-bound volume across tier v's links. Zero at the root, which
+// has no outside.
+func (g GridModel) collectAt(v *ModelNode, m int, outsideN int) float64 {
+	if outsideN == 0 || len(v.Children) < 2 {
+		return 0
+	}
+	maxPer, total := 0, 0
+	for i, c := range v.Children {
+		if i == 0 {
+			continue // the first child hosts the tier coordinator
+		}
+		b := c.TotalNodes() * outsideN * m
+		total += b
+		if b > maxPer {
+			maxPer = b
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	perFlow := v.Wan.Transfer(maxPer)
+	wire := v.Wan.Alpha() + float64(total)*v.Wan.BetaWire
+	if wire > perFlow {
+		return wire
+	}
+	return perFlow
+}
+
+// tierLegs sums the WAN legs of the hierarchical relay over the tree:
+// per height, the worst group's exchange plus upward gather (tiers at
+// one height run concurrently, different heights sequentially), and per
+// depth, the worst group's downward scatter. Both sums are zero on
+// two-level grids' inner structure — exchange at the root is the only
+// crossing — which is exactly PR 1's model.
+func (g GridModel) tierLegs(m int) (xchg, scatter float64) {
+	n := g.TotalNodes()
+	byHeight := map[int]float64{}
+	byDepth := map[int]float64{}
+	var walk func(v *ModelNode, depth int)
+	walk = func(v *ModelNode, depth int) {
+		if v.IsLeaf() {
+			return
+		}
+		for _, c := range v.Children {
+			walk(c, depth+1)
+		}
+		out := n - v.TotalNodes()
+		incast := g.collectAt(v, m, out)
+		if t := g.exchangeAt(v, m) + incast; t > byHeight[v.Height()] {
+			byHeight[v.Height()] = t
+		}
+		if depth > 0 && incast > byDepth[depth] {
+			byDepth[depth] = incast
+		}
+	}
+	walk(g.Root, 0)
+	for _, t := range byHeight {
+		xchg += t
+	}
+	for _, t := range byDepth {
+		scatter += t
+	}
+	return xchg, scatter
+}
+
+// leafLocal returns the worst leaf's gather (equivalently scatter) leg:
+// s−1 local transfers of a rank's entire remote-bound volume, serialized
+// at the coordinator's NIC.
+func (g GridModel) leafLocal(m int) float64 {
+	n := g.TotalNodes()
+	worst := 0.0
+	for _, lf := range g.Leaves() {
+		s := lf.Size
+		if s <= 1 || n == s {
+			continue
+		}
+		h := lf.LAN.H
+		if t := float64(s-1) * (h.Alpha + float64((n-s)*m)*h.Beta); t > worst {
+			worst = t
+		}
+	}
+	return worst
 }
 
 // HierGatherParts decomposes the sequential hierarchical algorithm: the
-// intra-cluster exchange, the WAN exchange leg, and the combined local
+// intra-cluster exchange, the summed per-tier WAN legs (exchange,
+// upward gather, downward scatter), and the combined local leaf
 // gather+scatter legs that GatherGamma multiplies (the synchronized
 // coordinator incast; planner calibration inverts this decomposition).
 func (g GridModel) HierGatherParts(m int) (intra, xchg, local float64) {
-	gather, xchg, scatter := g.relay(m)
-	return g.intra(m), xchg, gather + scatter
+	tx, ts := g.tierLegs(m)
+	return g.intra(m), tx + ts, 2 * g.leafLocal(m)
 }
 
 // PredictHierGather models the sequential hierarchical algorithm: the
-// intra-cluster exchange and the three relay phases run back to back.
+// intra-cluster exchange and the per-tier relay sweeps run back to back.
 func (g GridModel) PredictHierGather(m int) float64 {
 	if g.TotalNodes() <= 1 {
 		return 0
@@ -281,28 +478,29 @@ func (g GridModel) PredictHierGather(m int) float64 {
 // the per-pair volume inflated to the rank's full outbound data,
 // (n−1)·m/(s−1) — the local contention signature then prices the
 // overlap, which is exactly what makes overlap a loss on high-γ
-// networks. The relay (exchange + scatter) follows, its WAN leg being
-// dependency-ordered behind the gathers; OverlapGamma multiplies that
-// leg (planner calibration inverts this decomposition to fit it).
+// networks. The relay follows, its summed WAN exchange legs being
+// dependency-ordered behind the gathers; OverlapGamma multiplies those
+// legs (planner calibration inverts this decomposition to fit it), and
+// the scatter legs (per-tier plus leaf-local) close the plan.
 func (g GridModel) HierDirectParts(m int) (phase0, xchg, scatter float64) {
 	n := g.TotalNodes()
-	for c, s := range g.Sizes {
+	for _, lf := range g.Leaves() {
+		s := lf.Size
 		if s <= 1 {
 			continue
 		}
 		inflated := (n - 1) * m / (s - 1)
-		if t := g.LAN[c].Predict(s, inflated); t > phase0 {
+		if t := lf.LAN.Predict(s, inflated); t > phase0 {
 			phase0 = t
 		}
 	}
-	_, xchg, scatter = g.relay(m)
-	return phase0, xchg, scatter
+	tx, ts := g.tierLegs(m)
+	return phase0, tx, ts + g.leafLocal(m)
 }
 
 // PredictHierDirect models the overlapped hierarchical algorithm.
 func (g GridModel) PredictHierDirect(m int) float64 {
-	n := g.TotalNodes()
-	if n <= 1 {
+	if g.TotalNodes() <= 1 {
 		return 0
 	}
 	omega := g.OverlapGamma

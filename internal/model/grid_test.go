@@ -66,13 +66,32 @@ func TestWANTransferShared(t *testing.T) {
 	}
 }
 
+func testSig() Signature {
+	return Signature{H: Hockney{Alpha: 50e-6, Beta: 8e-9}, Gamma: 10, Delta: 0.04, M: 128 << 10}
+}
+
 func gridModelFixture() GridModel {
-	sig := Signature{H: Hockney{Alpha: 50e-6, Beta: 8e-9}, Gamma: 10, Delta: 0.04, M: 128 << 10}
-	return GridModel{
-		Sizes: []int{4, 4},
-		LAN:   []Signature{sig, sig},
-		Wan:   testWan(),
+	sig := testSig()
+	return TwoLevel([]int{4, 4}, []Signature{sig, sig}, testWan())
+}
+
+// threeLevelFixture: 2 nations × 2 campuses of 4 nodes, a fast campus
+// tier under the slow continental tier of testWan.
+func threeLevelFixture() GridModel {
+	sig := testSig()
+	campus := WANModel{
+		Curve: []WANPoint{
+			{Bytes: 1 << 10, T: 0.005},
+			{Bytes: 64 << 10, T: 0.008},
+			{Bytes: 1 << 20, T: 0.050},
+		},
+		BetaWire: 4e-8,
+		Gamma:    2,
 	}
+	nation := func() *ModelNode {
+		return GroupNode(campus, LeafNode(4, sig), LeafNode(4, sig))
+	}
+	return GridModel{Root: GroupNode(testWan(), nation(), nation())}
 }
 
 func TestGridModelValidate(t *testing.T) {
@@ -80,36 +99,48 @@ func TestGridModelValidate(t *testing.T) {
 	if err := g.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	bad := g
-	bad.Sizes = []int{4}
-	if err := bad.Validate(); err == nil {
-		t.Fatal("mismatched sizes must fail validation")
+	if err := threeLevelFixture().Validate(); err != nil {
+		t.Fatal(err)
 	}
-	bad = g
-	bad.Sizes = []int{4, 0}
+	bad := TwoLevel([]int{4, 0}, []Signature{testSig(), testSig()}, testWan())
 	if err := bad.Validate(); err == nil {
 		t.Fatal("empty cluster must fail validation")
 	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("TwoLevel with mismatched sizes/signatures must panic")
+			}
+		}()
+		TwoLevel([]int{4, 4}, []Signature{testSig()}, testWan())
+	}()
 	if err := (GridModel{}).Validate(); err == nil {
 		t.Fatal("empty grid must fail validation")
+	}
+	mixed := gridModelFixture()
+	mixed.Root.Children[0].Size = 3 // group node with Size set
+	mixed.Root.Children[0].Children = []*ModelNode{LeafNode(3, testSig())}
+	if err := mixed.Validate(); err == nil {
+		t.Fatal("node that is both leaf and group must fail validation")
 	}
 }
 
 func TestGridPredictionsPositiveAndOrdered(t *testing.T) {
-	g := gridModelFixture()
-	for _, m := range []int{4 << 10, 64 << 10, 512 << 10} {
-		flat := g.PredictFlat(m)
-		hg := g.PredictHierGather(m)
-		hd := g.PredictHierDirect(m)
-		if flat <= 0 || hg <= 0 || hd <= 0 {
-			t.Fatalf("m=%d: nonpositive predictions flat=%v hg=%v hd=%v", m, flat, hg, hd)
-		}
-		// The WAN exchange leg is common to both hierarchical variants;
-		// they differ only in how the LAN legs combine, so both must
-		// exceed the bare exchange time.
-		_, xchg, _ := g.relay(m)
-		if hg <= xchg || hd <= xchg {
-			t.Fatalf("m=%d: hierarchical predictions below their WAN leg", m)
+	for name, g := range map[string]GridModel{"2lvl": gridModelFixture(), "3lvl": threeLevelFixture()} {
+		for _, m := range []int{4 << 10, 64 << 10, 512 << 10} {
+			flat := g.PredictFlat(m)
+			hg := g.PredictHierGather(m)
+			hd := g.PredictHierDirect(m)
+			if flat <= 0 || hg <= 0 || hd <= 0 {
+				t.Fatalf("%s m=%d: nonpositive predictions flat=%v hg=%v hd=%v", name, m, flat, hg, hd)
+			}
+			// The WAN exchange legs are common to both hierarchical
+			// variants; they differ only in how the LAN legs combine, so
+			// both must exceed the bare exchange time.
+			xchg, _ := g.tierLegs(m)
+			if hg <= xchg || hd <= xchg {
+				t.Fatalf("%s m=%d: hierarchical predictions below their WAN legs", name, m)
+			}
 		}
 	}
 }
@@ -117,7 +148,7 @@ func TestGridPredictionsPositiveAndOrdered(t *testing.T) {
 func TestGridPredictFlatGammaScaling(t *testing.T) {
 	g := gridModelFixture()
 	lo := g.PredictFlat(64 << 10)
-	g.Wan.Gamma = 30
+	g.Root.Wan.Gamma = 30
 	hi := g.PredictFlat(64 << 10)
 	if hi <= lo {
 		t.Fatalf("raising γ_wan must raise the flat prediction (%v -> %v)", lo, hi)
@@ -129,9 +160,112 @@ func TestGridPredictFlatGammaScaling(t *testing.T) {
 	}
 }
 
+// TestGridDeeperTierRaisesPrediction: adding a continental tier above a
+// two-level grid must never make any strategy cheaper — the extra tier
+// adds start-ups and serialization.
+func TestGridDeeperTierRaisesPrediction(t *testing.T) {
+	g3 := threeLevelFixture()
+	// A two-level model of just one nation of the 3-level fixture.
+	nation := GridModel{Root: g3.Root.Children[0]}
+	for _, m := range []int{16 << 10, 64 << 10} {
+		if g3.PredictFlat(m) <= nation.PredictFlat(m) {
+			t.Fatalf("m=%d: 3-level flat not above its single-nation sub-grid", m)
+		}
+		if g3.PredictHierGather(m) <= nation.PredictHierGather(m) {
+			t.Fatalf("m=%d: 3-level hier-gather not above its single-nation sub-grid", m)
+		}
+	}
+}
+
+// TestGridTwoLevelMatchesClosedForm pins the depth-2 reduction: through
+// the recursive tree code path, a two-level grid must reproduce the
+// pre-refactor closed-form model (PR 1) exactly — worst-cluster LAN term
+// plus per-round WAN start-ups plus the shared-uplink transfer term, and
+// the three-phase relay for the hierarchical variants.
+func TestGridTwoLevelMatchesClosedForm(t *testing.T) {
+	sig := testSig()
+	sizes := []int{4, 6}
+	wan := testWan()
+	g := TwoLevel(sizes, []Signature{sig, sig}, wan)
+	g.Root.Wan.Gamma = 3
+	g.OverlapGamma = 2.5
+	g.GatherGamma = 1.5
+	n := 10
+	for _, m := range []int{8 << 10, 64 << 10, 512 << 10} {
+		// Flat: PR 1's FlatParts loop.
+		worst, lan, startup, wanT := -1.0, 0.0, 0.0, 0.0
+		for _, s := range sizes {
+			remote := n - s
+			clan := sig.Predict(s, m)
+			cstart := float64(remote) * wan.Alpha()
+			cwan := wan.TransferShared(s*remote, m) - wan.Alpha()
+			if t := clan + cstart + cwan; t > worst {
+				worst, lan, startup, wanT = t, clan, cstart, cwan
+			}
+		}
+		wantFlat := lan + startup + wanT*3
+		if got := g.PredictFlat(m); math.Abs(got-wantFlat) > 1e-12 {
+			t.Fatalf("m=%d: flat = %v, want closed form %v", m, got, wantFlat)
+		}
+
+		// Relay legs: PR 1's gather/exchange/scatter.
+		var gather, xchg float64
+		for _, s := range sizes {
+			remote := n - s
+			if s > 1 {
+				lt := float64(s-1) * (sig.H.Alpha + float64(remote*m)*sig.H.Beta)
+				if lt > gather {
+					gather = lt
+				}
+			}
+			maxPer, total := 0, 0
+			for _, d := range sizes {
+				if d != s { // sizes are distinct here
+					b := s * d * m
+					total += b
+					if b > maxPer {
+						maxPer = b
+					}
+				}
+			}
+			perFlow := wan.Transfer(maxPer)
+			wire := wan.Alpha() + float64(total)*wan.BetaWire
+			xt := perFlow
+			if wire > xt {
+				xt = wire
+			}
+			if xt > xchg {
+				xchg = xt
+			}
+		}
+		intra := 0.0
+		for _, s := range sizes {
+			if it := sig.Predict(s, m); it > intra {
+				intra = it
+			}
+		}
+		wantHG := intra + xchg + 2*gather*1.5
+		if got := g.PredictHierGather(m); math.Abs(got-wantHG) > 1e-12 {
+			t.Fatalf("m=%d: hier-gather = %v, want closed form %v", m, got, wantHG)
+		}
+
+		phase0 := 0.0
+		for _, s := range sizes {
+			inflated := (n - 1) * m / (s - 1)
+			if pt := sig.Predict(s, inflated); pt > phase0 {
+				phase0 = pt
+			}
+		}
+		wantHD := phase0 + xchg*2.5 + gather
+		if got := g.PredictHierDirect(m); math.Abs(got-wantHD) > 1e-12 {
+			t.Fatalf("m=%d: hier-direct = %v, want closed form %v", m, got, wantHD)
+		}
+	}
+}
+
 func TestGridSingleClusterDegeneratesToSignature(t *testing.T) {
 	sig := Signature{H: Hockney{Alpha: 50e-6, Beta: 8e-9}, Gamma: 2}
-	g := GridModel{Sizes: []int{6}, LAN: []Signature{sig}, Wan: testWan()}
+	g := GridModel{Root: LeafNode(6, sig)}
 	m := 32 << 10
 	want := sig.Predict(6, m)
 	if got := g.PredictFlat(m); math.Abs(got-want) > 1e-12 {

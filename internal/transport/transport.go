@@ -71,6 +71,7 @@ const (
 	GM
 )
 
+// String names the transport kind.
 func (k Kind) String() string {
 	switch k {
 	case TCP:
