@@ -8,6 +8,13 @@
 // pick the best exchange strategy per deployment and choose the
 // cheapest deployment meeting a deadline, all without running the
 // workload.
+//
+// Coordinator choice is part of the plan: the planner probes per-node
+// uplink headroom during characterization and, per leaf cluster, picks
+// which rank(s) relay the hierarchical exchange — steering off degraded
+// NICs and splitting wide clusters' gather incast across several
+// coordinator ports. The chosen coordinators are rendered per
+// deployment below.
 package main
 
 import (
@@ -51,10 +58,25 @@ func main() {
 	threeLvl := cluster.ThreeLevel("ge-2x2x3", ge, 2, 2, 3,
 		cluster.DefaultWAN(10*sim.Millisecond), cluster.DefaultWAN(40*sim.Millisecond))
 
+	// A deployment with a wide Fast Ethernet cluster next to two small
+	// Gigabit ones: any single coordinator port saturates under the wide
+	// cluster's gather incast, so the planner splits its relay.
+	fe := cluster.WANTuned(cluster.FastEthernet())
+	wide := cluster.GridProfile{
+		Name: "wide-mixed",
+		Members: []cluster.GridMember{
+			{Profile: fe, Nodes: 8},
+			{Profile: ge, Nodes: 3},
+			{Profile: ge, Nodes: 3},
+		},
+		WAN: cluster.DefaultWAN(20 * sim.Millisecond),
+	}
+
 	cands := []candidate{
 		{topo: fe2.Tree(), nodeCostEUR: 0.05},
 		{topo: mixed.Tree(), nodeCostEUR: 0.08},
 		{topo: threeLvl, nodeCostEUR: 0.11},
+		{topo: wide.Tree(), nodeCostEUR: 0.06},
 	}
 
 	fmt.Printf("workload: %d exchanges of %d B per pair, deadline %.0fs\n\n", exchanges, msgSize, deadline)
@@ -62,10 +84,17 @@ func main() {
 		"grid", "levels", "nodes", "best_strat", "comm_time_s", "meets_dl", "cost_EUR/h")
 
 	bestCost, bestDesc := -1.0, ""
+	var widePlanner *grid.Planner
 	for _, c := range cands {
 		// Characterize each member network and each WAN tier once; the
 		// model then predicts any message size on this topology.
 		pl, err := grid.NewPlanner(c.topo, grid.Options{FitN: 6, Reps: 1})
+		if err != nil {
+			panic(err)
+		}
+		// Pick coordinators from the probed headroom before ranking:
+		// hierarchical predictions then price the selected relay.
+		choices, err := pl.SelectCoordinators(msgSize)
 		if err != nil {
 			panic(err)
 		}
@@ -80,9 +109,15 @@ func main() {
 		for _, pr := range preds {
 			fmt.Printf("%-12s        · %-12s %10.1f\n", "", pr.Strategy, float64(exchanges)*pr.T)
 		}
+		for _, ch := range choices {
+			fmt.Printf("%-12s        · coordinators %s\n", "", ch)
+		}
 		if meets && (bestCost < 0 || cost < bestCost) {
 			bestCost = cost
 			bestDesc = fmt.Sprintf("%s via %s", c.topo.Name, best.Strategy)
+		}
+		if c.topo.Name == wide.Name {
+			widePlanner = pl
 		}
 	}
 	if bestCost >= 0 {
@@ -107,4 +142,25 @@ func main() {
 		coll.AlltoallHierPlanned(r, plan, msgSize)
 	})
 	fmt.Printf("one simulated exchange at %d B per pair: %.2fs\n", msgSize, meas.Mean())
+
+	// The same, with the wide deployment's selected (multi-)coordinator
+	// plan: the spec carries the chosen coordinator sets, and the wide
+	// leaf's gather/scatter splits across both chosen ports.
+	gw, err := cluster.BuildGridTree(wide.Tree(), 1)
+	if err != nil {
+		panic(err)
+	}
+	selPlan := coll.PlanHierTree(widePlanner.PlanSpec(), coll.HierGather)
+	fmt.Printf("\n%s plan on %s with selected coordinators", selPlan.Alg, wide.Name)
+	for l := 0; l < selPlan.Tree.NumLeaves(); l++ {
+		fmt.Printf(" leaf%d=%v", l, selPlan.Tree.Coordinators(l))
+	}
+	fmt.Printf(": %d ranks, %d phases, %d messages (%d cross-cluster)\n",
+		selPlan.Place.NumRanks(), selPlan.NumPhases(),
+		selPlan.NumMessages(), selPlan.CrossLeafMessages())
+	ww := mpi.NewWorld(gw.Env, mpi.Config{})
+	measSel := coll.Measure(ww, 1, 1, func(r *mpi.Rank) {
+		coll.AlltoallHierPlanned(r, selPlan, msgSize)
+	})
+	fmt.Printf("one simulated exchange at %d B per pair: %.2fs\n", msgSize, measSel.Mean())
 }

@@ -54,9 +54,27 @@ type Profile struct {
 	RxCostBase    sim.Time
 	RxCostPerConn sim.Time
 
+	// NodeLinkRates optionally overrides LinkRate per host position:
+	// host i of a built cluster (or of a grid leaf, counted within the
+	// leaf) uses NodeLinkRates[i] when that entry is positive; missing
+	// or zero entries keep LinkRate. This models heterogeneous NIC or
+	// access-port headroom — older adapters, oversubscribed ports — the
+	// grid planner probes back from the built network to steer subtree
+	// coordinators away from degraded uplinks.
+	NodeLinkRates []int64
+
 	// Transport tuning.
 	TCP transport.TCPConfig
 	GM  transport.GMConfig
+}
+
+// NodeRate returns host i's access-link rate: the per-node override
+// when present, LinkRate otherwise.
+func (p Profile) NodeRate(i int) int64 {
+	if i >= 0 && i < len(p.NodeLinkRates) && p.NodeLinkRates[i] > 0 {
+		return p.NodeLinkRates[i]
+	}
+	return p.LinkRate
 }
 
 // FastEthernet returns the icluster2 Fast Ethernet profile: 100 Mbit/s
@@ -179,6 +197,12 @@ func buildLAN(nw *netsim.Network, p Profile, hosts []*netsim.Device, prefix stri
 			leaves = need
 		}
 	}
+	// nodeLink is host i's access link, honoring per-node NIC overrides.
+	nodeLink := func(i int) netsim.LinkConfig {
+		l := link
+		l.Rate = p.NodeRate(i)
+		return l
+	}
 	if leaves > 1 {
 		coreCfg := netsim.SwitchConfig{PortBuffer: p.CorePortBuffer, Lossless: p.Lossless}
 		core := nw.AddSwitch(prefix+"core", coreCfg)
@@ -189,13 +213,13 @@ func buildLAN(nw *netsim.Network, p Profile, hosts []*netsim.Device, prefix stri
 			nw.Connect(leafSw[l], core, uplink)
 		}
 		for i, h := range hosts {
-			nw.Connect(h, leafSw[i%leaves], link)
+			nw.Connect(h, leafSw[i%leaves], nodeLink(i))
 		}
 		return core
 	}
 	sw := nw.AddSwitch(prefix+"sw", edgeCfg)
-	for _, h := range hosts {
-		nw.Connect(h, sw, link)
+	for i, h := range hosts {
+		nw.Connect(h, sw, nodeLink(i))
 	}
 	return sw
 }

@@ -3,6 +3,8 @@ package cluster
 import (
 	"testing"
 
+	"repro/internal/netsim"
+	"repro/internal/sim"
 	"repro/internal/transport"
 )
 
@@ -100,5 +102,75 @@ func TestBuildDeterministicAcrossCalls(t *testing.T) {
 	b := Build(Myrinet(), 6, 9)
 	if len(a.Net.Stats()) != len(b.Net.Stats()) {
 		t.Fatal("nondeterministic topology")
+	}
+}
+
+// TestNodeRate: the per-node override applies only to positive entries
+// within range.
+func TestNodeRate(t *testing.T) {
+	p := GigabitEthernet()
+	p.NodeLinkRates = []int64{12_500_000, 0}
+	if got := p.NodeRate(0); got != 12_500_000 {
+		t.Fatalf("NodeRate(0) = %d, want override", got)
+	}
+	if got := p.NodeRate(1); got != p.LinkRate {
+		t.Fatalf("NodeRate(1) = %d, want LinkRate (zero entry)", got)
+	}
+	if got := p.NodeRate(7); got != p.LinkRate {
+		t.Fatalf("NodeRate(7) = %d, want LinkRate (beyond slice)", got)
+	}
+}
+
+// TestNodeLinkRatesSlowFirstHost: a built cluster wires the per-node
+// NIC override into the simulated network — the same packet takes an
+// order of magnitude longer to serialize out of the degraded host.
+func TestNodeLinkRatesSlowFirstHost(t *testing.T) {
+	p := GigabitEthernet()
+	p.NodeLinkRates = []int64{12_500_000} // host 0 on a 100 Mb port
+	p.RxCostBase, p.RxCostPerConn = 0, 0
+	p.PortBuffer = 1 << 20 // fit the probe packet through the switch
+	c := Build(p, 4, 1)
+	arrive := map[int]sim.Time{}
+	for _, id := range []int{1, 3} {
+		id := id
+		c.Net.Host(netsim.NodeID(id)).SetHandler(func(pkt *netsim.Packet) {
+			arrive[id] = c.Sim.Now()
+		})
+	}
+	const size = 125_000 // 10 ms at 100 Mb/s, 1 ms at 1 Gb/s
+	c.Net.Inject(&netsim.Packet{Src: 0, Dst: 1, Size: size})
+	c.Net.Inject(&netsim.Packet{Src: 2, Dst: 3, Size: size})
+	c.Sim.RunUntil(sim.Second)
+	if arrive[1] == 0 || arrive[3] == 0 {
+		t.Fatalf("packets not delivered: %v", arrive)
+	}
+	// 125 kB serializes in 10 ms out of the 100 Mb port, 1 ms at 1 Gb/s.
+	if arrive[1] < 10*sim.Millisecond {
+		t.Fatalf("slow-NIC delivery at %v, want ≥ its 10 ms serialization", arrive[1])
+	}
+	if arrive[3] > 5*sim.Millisecond {
+		t.Fatalf("full-rate delivery at %v, implausibly slow", arrive[3])
+	}
+}
+
+// TestHeteroGridTreeFixture: the canonical heterogeneous grid exists,
+// degrades each campus's lowest rank, and builds.
+func TestHeteroGridTreeFixture(t *testing.T) {
+	tree, err := TreeByName("hetero-3lvl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lf := range tree.Leaves() {
+		if lf.Profile.NodeRate(0) >= lf.Profile.NodeRate(1) {
+			t.Fatalf("leaf %q: rank 0 rate %d not below rank 1 rate %d",
+				lf.Profile.Name, lf.Profile.NodeRate(0), lf.Profile.NodeRate(1))
+		}
+	}
+	g, err := BuildGridTree(tree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Env.Hosts); got != tree.TotalNodes() {
+		t.Fatalf("built %d hosts, want %d", got, tree.TotalNodes())
 	}
 }

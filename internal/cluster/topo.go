@@ -159,10 +159,20 @@ func GridTrees() map[string]TopoNode {
 	continental.Rate = 125_000_000 // 1 Gbit/s backbone
 	continental.Mesh = false
 
+	// Heterogeneous NIC headroom: every campus cluster's lowest rank
+	// sits on a legacy 100 Mb access port while the rest keep full
+	// Gigabit headroom — the canonical fixture for bandwidth-aware
+	// coordinator selection, where the default lowest-rank coordinator
+	// is exactly the wrong relay for the gather incast.
+	hg := ge
+	hg.Name = "gigabit-ethernet-mixed-nics"
+	hg.NodeLinkRates = []int64{12_500_000}
+
 	out := map[string]TopoNode{}
 	for _, t := range []TopoNode{
 		ThreeLevel("ge-3lvl", ge, 2, 2, 4, campus, continental),
 		ThreeLevel("fe-3lvl", fe, 2, 2, 5, campus, DefaultWAN(30*sim.Millisecond)),
+		ThreeLevel("hetero-3lvl", hg, 2, 2, 4, campus, DefaultWAN(40*sim.Millisecond)),
 		// Uneven continental grid: one national grid of two campuses
 		// next to one flat cluster reachable only over the backbone.
 		Group("mixed-3lvl", continental,

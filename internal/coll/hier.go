@@ -25,6 +25,14 @@ import (
 // beyond. One recursive plan builder covers every depth — the flat
 // Placement API below compiles through the same path.
 //
+// Coordinators are a planned decision, not a convention. By default each
+// subtree relays through its lowest rank, but a TreeSpec may name any
+// member — or several. With C coordinators the subtree's relay traffic
+// is partitioned by divergence target: target k (in the canonical
+// bottom-up ancestor walk) is owned by coordinator k mod C, in both
+// directions, so a wide cluster's gather incast and scatter fan-out
+// split across C NIC ports instead of serializing through one.
+//
 // Both algorithms are generated as explicit per-rank communication plans
 // (phases of matched sends and receives annotated with the logical
 // blocks they carry). The plan is what runs on the mpi runtime, and the
@@ -73,9 +81,41 @@ func (a HierAlgorithm) String() string {
 // one of Ranks (a leaf cluster) or Children (a group of subtrees joined
 // by one WAN tier) must be non-empty. Ranks across the whole tree must
 // cover 0..n−1, each exactly once, in any order.
+//
+// Coords optionally names the subtree's coordinator ranks. Every entry
+// must be a rank of the subtree and appear once; the slice order is the
+// ownership order (divergence target k is owned by Coords[k mod C]).
+// Empty Coords keeps the default: the subtree's lowest rank.
 type TreeSpec struct {
 	Ranks    []int
 	Children []TreeSpec
+	Coords   []int
+}
+
+// WithLeafCoords returns a deep copy of the spec with per-leaf
+// coordinator sets installed in leaf (tree) order. A nil entry keeps
+// that leaf's default; coords shorter than the leaf count leaves the
+// remaining leaves at their defaults.
+func (t TreeSpec) WithLeafCoords(coords [][]int) TreeSpec {
+	li := 0
+	var walk func(s TreeSpec) TreeSpec
+	walk = func(s TreeSpec) TreeSpec {
+		if len(s.Children) == 0 {
+			s.Ranks = append([]int(nil), s.Ranks...)
+			if li < len(coords) && len(coords[li]) > 0 {
+				s.Coords = append([]int(nil), coords[li]...)
+			}
+			li++
+			return s
+		}
+		children := make([]TreeSpec, len(s.Children))
+		for i, c := range s.Children {
+			children[i] = walk(c)
+		}
+		s.Children = children
+		return s
+	}
+	return walk(t)
 }
 
 // FlatSpec builds the depth-1 TreeSpec of a flat rank→cluster map:
@@ -113,13 +153,67 @@ type pnode struct {
 	ranks    []int // all ranks of the subtree, ascending
 	children []*pnode
 	parent   *pnode
-	height   int // 0 for leaves
-	depth    int // 0 for the root
-	coord    int // lowest rank of the subtree
-	leafIdx  int // dense leaf index, -1 for groups
+	height   int   // 0 for leaves
+	depth    int   // 0 for the root
+	coords   []int // coordinator set, ownership order; default lowest rank
+	leafIdx  int   // dense leaf index, -1 for groups
 }
 
 func (v *pnode) leaf() bool { return len(v.children) == 0 }
+
+// targetsOf returns the divergence targets of v in canonical order:
+// walking ancestors bottom-up, the sibling subtrees at each level in
+// child order. Every rank outside v belongs to exactly one target (the
+// sibling subtree at the level where its path diverges from v's).
+func targetsOf(v *pnode) []*pnode {
+	var out []*pnode
+	for w := v; w.parent != nil; w = w.parent {
+		for _, s := range w.parent.children {
+			if s != w {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// ownerOf returns the coordinator of v that owns the traffic diverging
+// at target t — both the outbound blocks addressed into t and the
+// inbound blocks originating there. Targets are assigned round-robin
+// over v's coordinator set in canonical target order, which is what
+// partitions a wide cluster's relay across its C coordinator ports.
+func ownerOf(v, t *pnode) int {
+	idx := 0
+	for w := v; w.parent != nil; w = w.parent {
+		for _, s := range w.parent.children {
+			if s == w {
+				continue
+			}
+			if s == t {
+				return v.coords[idx%len(v.coords)]
+			}
+			idx++
+		}
+	}
+	panic("coll: ownerOf called with a non-divergence target")
+}
+
+// deliveredAbove reports whether rank d (a rank of v's subtree) already
+// holds target t's inbound blocks addressed to it: d owns t at v or at
+// an ancestor relay on the chain up to t's sibling subtree, so the
+// exchange (or an intermediate scatter hop) handed d its own blocks
+// directly and no deeper hop may re-forward them — a deeper relay never
+// held them.
+func deliveredAbove(v, t *pnode, d int) bool {
+	for w := v; ; w = w.parent {
+		if ownerOf(w, t) == d {
+			return true
+		}
+		if w.parent == t.parent {
+			return false
+		}
+	}
+}
 
 // TreePlacement maps ranks onto a compiled topology tree. It is the
 // hierarchical generalization of Placement: leaves are clusters, inner
@@ -191,7 +285,25 @@ func (tp *TreePlacement) compile(spec TreeSpec, parent *pnode, depth int) *pnode
 	default:
 		panic("coll: tree node has neither ranks nor children")
 	}
-	v.coord = v.ranks[0]
+	if len(spec.Coords) > 0 {
+		in := make(map[int]bool, len(v.ranks))
+		for _, r := range v.ranks {
+			in[r] = true
+		}
+		seen := make(map[int]bool, len(spec.Coords))
+		for _, cr := range spec.Coords {
+			if !in[cr] {
+				panic(fmt.Sprintf("coll: coordinator %d is not a rank of its subtree", cr))
+			}
+			if seen[cr] {
+				panic(fmt.Sprintf("coll: coordinator %d named twice", cr))
+			}
+			seen[cr] = true
+		}
+		v.coords = append([]int(nil), spec.Coords...)
+	} else {
+		v.coords = []int{v.ranks[0]}
+	}
 	return v
 }
 
@@ -206,6 +318,13 @@ func (tp TreePlacement) LeafOf(r int) int { return tp.leafOf[r] }
 
 // LeafMembers returns the ranks of leaf l in ascending order.
 func (tp TreePlacement) LeafMembers(l int) []int { return tp.leaves[l].ranks }
+
+// Coordinators returns leaf l's coordinator set in ownership order
+// (divergence target k is owned by entry k mod C). The default set is
+// the leaf's lowest rank.
+func (tp TreePlacement) Coordinators(l int) []int {
+	return append([]int(nil), tp.leaves[l].coords...)
+}
 
 // Height returns the root height: 0 for a single cluster, 1 for a
 // two-level grid, 2 for campus → national → continental, and so on.
@@ -416,8 +535,8 @@ func (c *treeCompiler) build() {
 	root := c.tp.root
 	H := root.height
 
-	// downSend(v): the HierDirect level at which coordinator(v) forwards
-	// inbound blocks down to v's children — after the parent-tier
+	// downSend(v): the HierDirect level at which v's owning coordinators
+	// forward inbound blocks down to v's children — after the parent-tier
 	// exchange (its own participation phase v.height+1 and the sibling
 	// send levels, which differ in uneven trees) and the parent's own
 	// scatter.
@@ -484,29 +603,28 @@ func (c *treeCompiler) build() {
 		}
 	}
 
-	// 2. Leaf gather: each non-coordinator hands its remote-bound blocks
-	// to the leaf coordinator, one message per divergence target —
-	// walking ancestors bottom-up, one message per sibling subtree.
+	// 2. Leaf gather: each member hands its remote-bound blocks to the
+	// owning leaf coordinator, one message per divergence target —
+	// walking ancestors bottom-up, one message per sibling subtree. With
+	// C coordinators the targets (and so the gather incast) split
+	// round-robin across the set; a coordinator forwards the targets it
+	// does not own like any other member.
 	for _, lf := range c.tp.leaves {
 		for _, i := range lf.ranks {
-			if i == lf.coord {
-				continue
-			}
-			for v := lf; v.parent != nil; v = v.parent {
-				for _, sib := range v.parent.children {
-					if sib == v {
-						continue
-					}
-					var blocks []Block
-					for _, j := range sib.ranks {
-						blocks = append(blocks, Block{Src: i, Dst: j})
-					}
-					sp, rp := 1, 1
-					if direct {
-						sp, rp = 0, 0 // held at start; coordinator forwards at level 1
-					}
-					emit(i, sp, lf.coord, rp, blocks)
+			for _, sib := range targetsOf(lf) {
+				owner := ownerOf(lf, sib)
+				if i == owner {
+					continue
 				}
+				var blocks []Block
+				for _, j := range sib.ranks {
+					blocks = append(blocks, Block{Src: i, Dst: j})
+				}
+				sp, rp := 1, 1
+				if direct {
+					sp, rp = 0, 0 // held at start; the owner forwards at level 1
+				}
+				emit(i, sp, owner, rp, blocks)
 			}
 		}
 	}
@@ -526,22 +644,13 @@ func (c *treeCompiler) build() {
 	collectGroups(root)
 	sort.SliceStable(groups, func(i, j int) bool { return groups[i].height < groups[j].height })
 
-	outside := func(v *pnode) []int {
-		in := map[int]bool{}
-		for _, r := range v.ranks {
-			in[r] = true
-		}
-		var o []int
-		for r := 0; r < c.tp.NumRanks(); r++ {
-			if !in[r] {
-				o = append(o, r)
-			}
-		}
-		return o
-	}
+	// rankPair keys coalesced coordinator-to-coordinator messages.
+	type rankPair struct{ from, to int }
 
 	for _, g := range groups {
-		// Exchange: one aggregated message per ordered child pair.
+		// Exchange: one aggregated message per ordered child pair, routed
+		// between the owning coordinators of each side (the sender owns
+		// the outbound target, the receiver the inbound source).
 		for _, a := range g.children {
 			for _, bb := range g.children {
 				if a == bb {
@@ -562,31 +671,42 @@ func (c *treeCompiler) build() {
 					// deadlock two coordinators against each other.
 					sp, rp = a.height+1, bb.height+1
 				}
-				emit(a.coord, sp, bb.coord, rp, blocks)
+				emit(ownerOf(a, bb), sp, ownerOf(bb, a), rp, blocks)
 			}
 		}
-		// Upward gather: each child coordinator forwards the blocks that
-		// leave this tier to the tier coordinator, one aggregated
+		// Upward gather: the blocks that leave this tier move from each
+		// child's owning coordinator to the tier's, per divergence
+		// target of g; messages between one rank pair coalesce, so the
+		// default single-coordinator case keeps exactly one aggregated
 		// message per child.
 		if g.parent == nil {
 			continue
 		}
-		ext := outside(g)
+		gTargets := targetsOf(g)
 		for _, ch := range g.children {
-			if ch.coord == g.coord {
-				continue
-			}
-			var blocks []Block
-			for _, i := range ch.ranks {
-				for _, j := range ext {
-					blocks = append(blocks, Block{Src: i, Dst: j})
+			var order []rankPair
+			byPair := map[rankPair][]Block{}
+			for _, t := range gTargets {
+				p := rankPair{from: ownerOf(ch, t), to: ownerOf(g, t)}
+				if p.from == p.to {
+					continue
+				}
+				if _, ok := byPair[p]; !ok {
+					order = append(order, p)
+				}
+				for _, i := range ch.ranks {
+					for _, j := range t.ranks {
+						byPair[p] = append(byPair[p], Block{Src: i, Dst: j})
+					}
 				}
 			}
-			sp, rp := 1+g.height, 1+g.height
-			if direct {
-				sp, rp = ch.height+1, g.height
+			for _, p := range order {
+				sp, rp := 1+g.height, 1+g.height
+				if direct {
+					sp, rp = ch.height+1, g.height
+				}
+				emit(p.from, sp, p.to, rp, byPair[p])
 			}
-			emit(ch.coord, sp, g.coord, rp, blocks)
 		}
 	}
 
@@ -604,51 +724,95 @@ func (c *treeCompiler) build() {
 	collectAll(root)
 	sort.SliceStable(nodes, func(i, j int) bool { return nodes[i].depth < nodes[j].depth })
 
+	// forwardsAny reports whether the receiver will forward part of the
+	// message (some block is addressed past it) — the HierDirect test
+	// for a fixed receive level versus a terminal receive.
+	forwardsAny := func(blocks []Block, to int) bool {
+		for _, b := range blocks {
+			if b.Dst != to {
+				return true
+			}
+		}
+		return false
+	}
+
 	for _, v := range nodes {
 		if v.parent == nil {
 			continue // the root has no inbound traffic to distribute
 		}
-		ext := outside(v)
+		vTargets := targetsOf(v)
 		if v.leaf() {
+			// Deliver to members: each owning coordinator hands the
+			// member the inbound blocks of the targets it owns — one
+			// message per (owner, member) pair, so a C-way split leaf
+			// scatters through C ports.
 			for _, i := range v.ranks {
-				if i == v.coord {
-					continue
+				var order []int
+				byOwner := map[int][]Block{}
+				for _, t := range vTargets {
+					if deliveredAbove(v, t, i) {
+						continue // an upstream relay already handed i these blocks
+					}
+					o := ownerOf(v, t)
+					if _, ok := byOwner[o]; !ok {
+						order = append(order, o)
+					}
+					for _, j := range t.ranks {
+						byOwner[o] = append(byOwner[o], Block{Src: j, Dst: i})
+					}
 				}
-				var blocks []Block
-				for _, j := range ext {
-					blocks = append(blocks, Block{Src: j, Dst: i})
+				for _, o := range order {
+					sp, rp := 1+H+v.depth, 1+H+v.depth
+					if direct {
+						emitTerminal(o, downSend[v], i, byOwner[o])
+						continue
+					}
+					emit(o, sp, i, rp, byOwner[o])
 				}
-				sp, rp := 1+H+v.depth, 1+H+v.depth
-				if direct {
-					emitTerminal(v.coord, downSend[v], i, blocks)
-					continue
-				}
-				emit(v.coord, sp, i, rp, blocks)
 			}
 			continue
 		}
 		for _, ch := range v.children {
-			if ch.coord == v.coord {
-				continue
-			}
-			var blocks []Block
-			for _, j := range ext {
-				for _, d := range ch.ranks {
-					blocks = append(blocks, Block{Src: j, Dst: d})
-				}
-			}
-			sp, rp := 1+H+v.depth, 1+H+v.depth
-			if direct {
-				sp = downSend[v]
-				if len(ch.ranks) > 1 {
-					rp = downSend[ch] - 1
-					emit(v.coord, sp, ch.coord, rp, blocks)
+			var order []rankPair
+			byPair := map[rankPair][]Block{}
+			for _, t := range vTargets {
+				p := rankPair{from: ownerOf(v, t), to: ownerOf(ch, t)}
+				if p.from == p.to {
 					continue
 				}
-				emitTerminal(v.coord, sp, ch.coord, blocks)
-				continue
+				if _, ok := byPair[p]; !ok {
+					order = append(order, p)
+				}
+				var dsts []int
+				for _, d := range ch.ranks {
+					if !deliveredAbove(v, t, d) {
+						dsts = append(dsts, d)
+					}
+				}
+				for _, j := range t.ranks {
+					for _, d := range dsts {
+						byPair[p] = append(byPair[p], Block{Src: j, Dst: d})
+					}
+				}
 			}
-			emit(v.coord, sp, ch.coord, rp, blocks)
+			for _, p := range order {
+				blocks := byPair[p]
+				if len(blocks) == 0 {
+					continue
+				}
+				sp, rp := 1+H+v.depth, 1+H+v.depth
+				if direct {
+					sp = downSend[v]
+					if forwardsAny(blocks, p.to) {
+						rp = downSend[ch] - 1
+						emit(p.from, sp, p.to, rp, blocks)
+						continue
+					}
+					emitTerminal(p.from, sp, p.to, blocks)
+					continue
+				}
+				emit(p.from, sp, p.to, rp, blocks)
+			}
 		}
 	}
 

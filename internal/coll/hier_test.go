@@ -1,7 +1,9 @@
 package coll
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/cluster"
@@ -106,6 +108,29 @@ func verifyHierPlan(t *testing.T, plan *HierPlan) {
 		for i := 0; i < n; i++ {
 			if i != j && !hold[j][Block{Src: i, Dst: j}] {
 				t.Fatalf("%v: block %d->%d never reached rank %d", plan.Alg, i, j, j)
+			}
+		}
+	}
+
+	// Exactly-once delivery: each block is carried into its final
+	// destination by exactly one message — a relay must never re-send a
+	// block its destination already holds.
+	delivered := map[Block]int{}
+	for _, m := range plan.msgs {
+		for _, blk := range m.blocks {
+			if blk.Dst == m.to {
+				delivered[blk]++
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if i == j {
+				continue
+			}
+			if got := delivered[Block{Src: i, Dst: j}]; got != 1 {
+				t.Fatalf("%v: block %d->%d delivered by %d messages, want exactly 1",
+					plan.Alg, i, j, got)
 			}
 		}
 	}
@@ -522,6 +547,316 @@ func TestAlltoallReportsEffectiveAlgorithm(t *testing.T) {
 			if eff != want {
 				t.Fatalf("n=%d rank %d: Alltoall ran %v, want %v", n, id, eff, want)
 			}
+		}
+	}
+}
+
+// planFingerprint renders a plan's full observable structure — per-rank
+// phase op lists and every message with its blocks — for exact
+// plan-equality regression checks.
+func planFingerprint(p *HierPlan) string {
+	var b strings.Builder
+	for r, phases := range p.perRank {
+		fmt.Fprintf(&b, "rank %d:", r)
+		for ph, ops := range phases {
+			fmt.Fprintf(&b, " [%d: %ds %dr]", ph, len(ops.sends), len(ops.recvs))
+		}
+		b.WriteString("\n")
+	}
+	for _, m := range p.msgs {
+		fmt.Fprintf(&b, "msg %d@%d -> %d@%d tag %d blocks %v\n",
+			m.from, m.fromPhase, m.to, m.toPhase, m.tag, m.blocks)
+	}
+	return b.String()
+}
+
+// TestHierPlanDefaultEqualsExplicitLowestCoords pins the regression the
+// coordinator extension must honor: naming each subtree's lowest rank
+// explicitly produces byte-identical plans to the no-Coords default, so
+// the selection machinery provably changes nothing unless a non-default
+// coordinator is chosen.
+func TestHierPlanDefaultEqualsExplicitLowestCoords(t *testing.T) {
+	lowest := func(ranks []int) int {
+		lo := ranks[0]
+		for _, r := range ranks {
+			if r < lo {
+				lo = r
+			}
+		}
+		return lo
+	}
+	var explicit func(s TreeSpec) TreeSpec
+	explicit = func(s TreeSpec) TreeSpec {
+		if len(s.Children) == 0 {
+			s.Coords = []int{lowest(s.Ranks)}
+			return s
+		}
+		children := make([]TreeSpec, len(s.Children))
+		var all []int
+		for i, c := range s.Children {
+			children[i] = explicit(c)
+			all = append(all, specRanks(c)...)
+		}
+		s.Children = children
+		s.Coords = []int{lowest(all)}
+		return s
+	}
+	for ti, spec := range treeSpecs() {
+		for _, alg := range HierAlgorithms {
+			def := planFingerprint(PlanHierTree(spec, alg))
+			exp := planFingerprint(PlanHierTree(explicit(spec), alg))
+			if def != exp {
+				t.Fatalf("tree %d %v: explicit lowest-rank coords changed the plan:\n--- default ---\n%s--- explicit ---\n%s",
+					ti, alg, def, exp)
+			}
+		}
+	}
+}
+
+// specRanks collects every rank of a spec subtree.
+func specRanks(s TreeSpec) []int {
+	if len(s.Children) == 0 {
+		return append([]int(nil), s.Ranks...)
+	}
+	var out []int
+	for _, c := range s.Children {
+		out = append(out, specRanks(c)...)
+	}
+	return out
+}
+
+// TestHierPlanNonLowestCoordinatorRouting: with explicit non-lowest
+// coordinators, every cross-cluster message is relayed between exactly
+// the chosen ranks, and the plan invariants still hold.
+func TestHierPlanNonLowestCoordinatorRouting(t *testing.T) {
+	spec := TreeSpec{Children: []TreeSpec{
+		{Ranks: []int{0, 1, 2}, Coords: []int{2}},
+		{Ranks: []int{3, 4, 5}, Coords: []int{4}},
+	}}
+	for _, alg := range HierAlgorithms {
+		plan := PlanHierTree(spec, alg)
+		verifyHierPlan(t, plan)
+		if got := plan.Tree.Coordinators(0); len(got) != 1 || got[0] != 2 {
+			t.Fatalf("%v: leaf 0 coordinators = %v, want [2]", alg, got)
+		}
+		for _, m := range plan.msgs {
+			if plan.Tree.LeafOf(m.from) == plan.Tree.LeafOf(m.to) {
+				continue
+			}
+			if (m.from != 2 && m.from != 4) || (m.to != 2 && m.to != 4) {
+				t.Fatalf("%v: cross message %d->%d not relayed via chosen coordinators", alg, m.from, m.to)
+			}
+		}
+	}
+}
+
+// TestHierPlanMultiCoordinatorSplit: a wide leaf with two coordinators
+// splits its relay by divergence target — target k is owned by
+// coordinator k mod C — so each coordinator carries exactly its share
+// of the cross traffic and the gather incast lands on two ports.
+func TestHierPlanMultiCoordinatorSplit(t *testing.T) {
+	spec := TreeSpec{Children: []TreeSpec{
+		{Ranks: []int{0, 1, 2, 3}, Coords: []int{1, 3}},
+		{Ranks: []int{4, 5}},
+		{Ranks: []int{6, 7}},
+	}}
+	for _, alg := range HierAlgorithms {
+		plan := PlanHierTree(spec, alg)
+		verifyHierPlan(t, plan)
+
+		// Leaf 0's targets in canonical order are cluster 1 (owner 1)
+		// and cluster 2 (owner 3).
+		wantOwner := map[int]int{1: 1, 2: 3}
+		for _, m := range plan.msgs {
+			lf, lt := plan.Tree.LeafOf(m.from), plan.Tree.LeafOf(m.to)
+			if lf == lt {
+				continue
+			}
+			if lf == 0 {
+				if want := wantOwner[lt]; m.from != want {
+					t.Fatalf("%v: exchange to cluster %d sent by %d, want owner %d", alg, lt, m.from, want)
+				}
+			}
+			if lt == 0 {
+				if want := wantOwner[lf]; m.to != want {
+					t.Fatalf("%v: exchange from cluster %d received by %d, want owner %d", alg, lf, m.to, want)
+				}
+			}
+		}
+
+		// Gather split: every member of leaf 0 hands cluster-1-bound
+		// blocks to rank 1 and cluster-2-bound blocks to rank 3 — no
+		// single port sees the whole incast.
+		gathers := map[[2]int]int{} // (member, owner) -> messages
+		for _, m := range plan.msgs {
+			if plan.Tree.LeafOf(m.from) != 0 || plan.Tree.LeafOf(m.to) != 0 {
+				continue
+			}
+			if len(m.blocks) > 0 && m.blocks[0].Src == m.from && plan.Tree.LeafOf(m.blocks[0].Dst) != 0 {
+				gathers[[2]int{m.from, m.to}]++
+			}
+		}
+		for _, member := range []int{0, 2} { // plain members gather to both owners
+			for _, owner := range []int{1, 3} {
+				if gathers[[2]int{member, owner}] != 1 {
+					t.Fatalf("%v: member %d -> owner %d gather messages = %d, want 1 (gathers: %v)",
+						alg, member, owner, gathers[[2]int{member, owner}], gathers)
+				}
+			}
+		}
+		// The co-coordinators forward each other the targets they do
+		// not own.
+		if gathers[[2]int{1, 3}] != 1 || gathers[[2]int{3, 1}] != 1 {
+			t.Fatalf("%v: co-coordinator handoffs missing: %v", alg, gathers)
+		}
+	}
+}
+
+// TestHierTreeCoordinatorFuzz fuzzes topology trees with random
+// coordinator assignments — non-lowest ranks, multiple coordinators,
+// at leaves and at inner tiers — asserting the full plan invariants:
+// every block delivered exactly once, causality, and rendezvous-safe
+// deadlock-free phase ordering.
+func TestHierTreeCoordinatorFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	var build func(depthLeft int) TreeSpec
+	var leafCount int
+	build = func(depthLeft int) TreeSpec {
+		if depthLeft == 0 || rng.Intn(3) == 0 {
+			leafCount++
+			return TreeSpec{Ranks: []int{}}
+		}
+		k := rng.Intn(3) + 1
+		var s TreeSpec
+		for c := 0; c < k; c++ {
+			s.Children = append(s.Children, build(depthLeft-1))
+		}
+		return s
+	}
+	fill := func(s *TreeSpec, perLeaf [][]int) {
+		idx := 0
+		var walk func(v *TreeSpec)
+		walk = func(v *TreeSpec) {
+			if len(v.Children) == 0 {
+				v.Ranks = perLeaf[idx]
+				idx++
+				return
+			}
+			for i := range v.Children {
+				walk(&v.Children[i])
+			}
+		}
+		walk(s)
+	}
+	// assignCoords gives each node, with probability 1/2, a random
+	// coordinator set drawn from its subtree: random size 1..3, random
+	// members, in random order — lowest rank only by accident.
+	var assignCoords func(s *TreeSpec)
+	assignCoords = func(s *TreeSpec) {
+		for i := range s.Children {
+			assignCoords(&s.Children[i])
+		}
+		if rng.Intn(2) == 0 {
+			return
+		}
+		ranks := specRanks(*s)
+		rng.Shuffle(len(ranks), func(i, j int) { ranks[i], ranks[j] = ranks[j], ranks[i] })
+		c := rng.Intn(3) + 1
+		if c > len(ranks) {
+			c = len(ranks)
+		}
+		s.Coords = append([]int(nil), ranks[:c]...)
+	}
+	for iter := 0; iter < 60; iter++ {
+		leafCount = 0
+		spec := build(3)
+		if leafCount == 0 {
+			continue
+		}
+		n := leafCount + rng.Intn(10)
+		perm := rng.Perm(n)
+		perLeaf := make([][]int, leafCount)
+		for l := 0; l < leafCount; l++ {
+			perLeaf[l] = []int{perm[l]}
+		}
+		for i := leafCount; i < n; i++ {
+			l := rng.Intn(leafCount)
+			perLeaf[l] = append(perLeaf[l], perm[i])
+		}
+		fill(&spec, perLeaf)
+		assignCoords(&spec)
+		for _, alg := range HierAlgorithms {
+			verifyHierPlan(t, PlanHierTree(spec, alg))
+		}
+	}
+}
+
+// TestTreeSpecCoordsValidation: malformed coordinator sets must be
+// rejected at compile time, not silently produce broken plans.
+func TestTreeSpecCoordsValidation(t *testing.T) {
+	mustPanic := func(name string, spec TreeSpec) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		NewTreePlacement(spec)
+	}
+	mustPanic("coordinator outside subtree", TreeSpec{Children: []TreeSpec{
+		{Ranks: []int{0, 1}, Coords: []int{2}},
+		{Ranks: []int{2, 3}},
+	}})
+	mustPanic("duplicate coordinator", TreeSpec{Children: []TreeSpec{
+		{Ranks: []int{0, 1}, Coords: []int{1, 1}},
+		{Ranks: []int{2, 3}},
+	}})
+}
+
+// TestWithLeafCoords: the helper installs per-leaf coordinator sets in
+// tree order without mutating the receiver.
+func TestWithLeafCoords(t *testing.T) {
+	spec := TreeSpec{Children: []TreeSpec{
+		{Ranks: []int{0, 1, 2}},
+		{Children: []TreeSpec{{Ranks: []int{3, 4}}, {Ranks: []int{5}}}},
+	}}
+	got := spec.WithLeafCoords([][]int{{2}, nil, {5}})
+	if len(spec.Children[0].Coords) != 0 {
+		t.Fatal("WithLeafCoords mutated the receiver")
+	}
+	tp := NewTreePlacement(got)
+	if c := tp.Coordinators(0); len(c) != 1 || c[0] != 2 {
+		t.Fatalf("leaf 0 coords = %v, want [2]", c)
+	}
+	if c := tp.Coordinators(1); len(c) != 1 || c[0] != 3 {
+		t.Fatalf("leaf 1 coords = %v, want default [3]", c)
+	}
+	if c := tp.Coordinators(2); len(c) != 1 || c[0] != 5 {
+		t.Fatalf("leaf 2 coords = %v, want [5]", c)
+	}
+}
+
+// TestHierAlltoallOnGridWithCoords runs both hierarchical algorithms
+// end-to-end on the mpi runtime with non-default coordinators — a
+// non-lowest single coordinator and a 2-way split wide cluster — and
+// checks completion with a physically sensible time.
+func TestHierAlltoallOnGridWithCoords(t *testing.T) {
+	gp := cluster.Uniform("t-hier-coords", cluster.WANTuned(cluster.GigabitEthernet()), 3, 3,
+		cluster.DefaultWAN(10*sim.Millisecond))
+	for _, alg := range HierAlgorithms {
+		g, err := cluster.BuildGrid(gp, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := GridSpec(g).WithLeafCoords([][]int{{1, 2}, {4}, {8}})
+		plan := PlanHierTree(spec, alg)
+		verifyHierPlan(t, plan)
+		w := mpi.NewWorld(g.Env, mpi.Config{})
+		meas := Measure(w, 0, 1, func(r *mpi.Rank) { AlltoallHierPlanned(r, plan, 20_000) })
+		if meas.Mean() <= 0.010 {
+			t.Fatalf("%v: completion %.4fs, cannot beat one WAN latency", alg, meas.Mean())
+		}
+		if meas.Mean() > 5 {
+			t.Fatalf("%v: completion %.1fs implausibly slow", alg, meas.Mean())
 		}
 	}
 }

@@ -84,6 +84,9 @@ type Options struct {
 	// large enough that uplink sharing and LAN/WAN overlap interference
 	// show up, small enough to stay affordable.
 	ProbeCap int
+	// MaxCoords caps how many coordinators SelectCoordinators may split
+	// one leaf's relay across (default 2).
+	MaxCoords int
 	// Reps is the repetitions per measured point (default 2).
 	Reps int
 	// Seed drives the characterization simulations.
@@ -106,6 +109,9 @@ func (o Options) withDefaults() Options {
 	if o.ProbeCap == 0 {
 		o.ProbeCap = 4
 	}
+	if o.MaxCoords == 0 {
+		o.MaxCoords = 2
+	}
 	if o.Reps == 0 {
 		o.Reps = 2
 	}
@@ -124,6 +130,15 @@ type Planner struct {
 	// Hockney holds the calibrated point-to-point parameters per leaf
 	// cluster, in tree order (diagnostic).
 	Hockney []model.Hockney
+	// Headroom holds the probed per-node NIC rates in bytes/s, per leaf
+	// in tree order: Headroom[l][i] is leaf l's node i. Coordinator
+	// selection ranks candidates by it.
+	Headroom [][]float64
+	// Selected holds the per-leaf coordinator selection after
+	// SelectCoordinators; nil until then (the lowest-rank default).
+	Selected []CoordChoice
+
+	opt Options
 }
 
 // NewPlanner characterizes every member network and every WAN tier of
@@ -160,7 +175,7 @@ func NewPlanner(topo cluster.TopoNode, opt Options) (*Planner, error) {
 		return nil, err
 	}
 
-	pl := &Planner{Topo: topo}
+	pl := &Planner{Topo: topo, opt: opt}
 
 	// Leaf characterization: ping-pong Hockney plus the paper's
 	// signature fit, cached on the full profile value (members sharing a
@@ -169,10 +184,10 @@ func NewPlanner(topo cluster.TopoNode, opt Options) (*Planner, error) {
 		h   model.Hockney
 		sig model.Signature
 	}
-	cache := map[cluster.Profile]charac{}
+	cache := map[string]charac{}
 	for _, lf := range topo.Leaves() {
 		p := lf.Profile
-		if _, ok := cache[p]; ok {
+		if _, ok := cache[profileKey(p)]; ok {
 			continue
 		}
 		h := calib.PingPong(p, mpi.Config{}, opt.Seed, calib.PingPongConfig{Reps: 3})
@@ -189,17 +204,34 @@ func NewPlanner(topo cluster.TopoNode, opt Options) (*Planner, error) {
 		if err != nil {
 			return nil, fmt.Errorf("grid: fitting %s: %w", p.Name, err)
 		}
-		cache[p] = charac{h: h, sig: sig}
+		cache[profileKey(p)] = charac{h: h, sig: sig}
 	}
 	for _, lf := range topo.Leaves() {
-		pl.Hockney = append(pl.Hockney, cache[lf.Profile].h)
+		pl.Hockney = append(pl.Hockney, cache[profileKey(lf.Profile)].h)
+	}
+
+	// Per-node uplink headroom, probed once per distinct (profile, size)
+	// member on a standalone leaf build — the data SelectCoordinators
+	// ranks coordinator candidates by. Probed eagerly with the rest of
+	// characterization: a couple of LAN ping-pongs per node is noise
+	// next to the signature sweeps, and Headroom is part of the
+	// planner's published characterization.
+	hrCache := map[string][]float64{}
+	for _, lf := range topo.Leaves() {
+		key := fmt.Sprintf("%s|%d", profileKey(lf.Profile), lf.Nodes)
+		rates, ok := hrCache[key]
+		if !ok {
+			rates = probeHeadroom(lf.Profile, lf.Nodes, opt)
+			hrCache[key] = rates
+		}
+		pl.Headroom = append(pl.Headroom, rates)
 	}
 
 	// Model tree mirroring the topology, with per-tier WAN curves
 	// measured on minimal instances of the grid. Structurally identical
 	// tiers share one measured curve through the cache.
 	curves := map[string]model.WANModel{}
-	root, err := buildModelTree(topo, 0, func(p cluster.Profile) model.Signature { return cache[p].sig }, topo, curves, opt)
+	root, err := buildModelTree(topo, 0, func(p cluster.Profile) model.Signature { return cache[profileKey(p)].sig }, topo, curves, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -321,6 +353,11 @@ func characterizeTier(full cluster.TopoNode, node cluster.TopoNode, a, b int, op
 		Gamma:    1,
 	}, nil
 }
+
+// profileKey renders a profile value as a cache key. Profiles carry a
+// per-node rate slice, so the struct itself cannot key a map; members
+// sharing a name but not tuning must still not share a fit.
+func profileKey(p cluster.Profile) string { return fmt.Sprintf("%+v", p) }
 
 // topoKey renders a subtree as a canonical string: profile and node
 // count at leaves, WAN parameters and child keys at groups. Used to

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/coll"
 	"repro/internal/sim"
 )
 
@@ -117,7 +118,17 @@ func rankingMatchesSimulation(t *testing.T, topo cluster.TopoNode, pl *Planner, 
 		for _, s := range Strategies {
 			mean := 0.0
 			for _, seed := range []int64{7, 19} {
-				st, err := Simulate(topo, s, m, seed, 1, 2)
+				// Hierarchical strategies run the planner's chosen plan
+				// (PlanSpec is the lowest-rank default until a selection
+				// is made), so predictions and ground truth agree on
+				// what executes.
+				var st float64
+				var err error
+				if alg, ok := DescribeStrategy(s); ok {
+					st, err = SimulateSpec(topo, pl.PlanSpec(), alg, m, seed, 1, 2)
+				} else {
+					st, err = Simulate(topo, s, m, seed, 1, 2)
+				}
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -222,5 +233,270 @@ func TestPlannerRejectsSingleCluster(t *testing.T) {
 		cluster.Leaf(wanTunedGE(), 4))
 	if _, err := NewPlanner(oneChild, cheapOptions()); err == nil {
 		t.Fatal("single-child tier must be rejected with an error, not a panic")
+	}
+}
+
+// heteroTestTopo is a small heterogeneous two-cluster grid: each
+// cluster's lowest rank sits on a 100 Mb port while the rest have full
+// Gigabit headroom.
+func heteroTestTopo(nodes int) cluster.TopoNode {
+	p := wanTunedGE()
+	p.Name = "ge-mixed-nics"
+	p.NodeLinkRates = []int64{12_500_000}
+	return cluster.Uniform("hetero-test", p, 2, nodes, cluster.DefaultWAN(20*sim.Millisecond)).Tree()
+}
+
+// TestPlannerHeadroomProbe: characterization measures per-node NIC
+// rates back from the built network — the degraded rank 0 probes
+// markedly below its full-rate peers, and homogeneous peers probe
+// alike.
+func TestPlannerHeadroomProbe(t *testing.T) {
+	pl, err := NewPlanner(heteroTestTopo(4), cheapOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Headroom) != 2 {
+		t.Fatalf("headroom for %d leaves, want 2", len(pl.Headroom))
+	}
+	for l, rates := range pl.Headroom {
+		if len(rates) != 4 {
+			t.Fatalf("leaf %d: %d node rates, want 4", l, len(rates))
+		}
+		for i, r := range rates {
+			if r <= 0 {
+				t.Fatalf("leaf %d node %d: nonpositive probed rate %v", l, i, r)
+			}
+		}
+		// Node 0 is on a 100 Mb port; node 1 has Gigabit headroom.
+		if rates[0]*4 > rates[1] {
+			t.Fatalf("leaf %d: degraded node 0 (%.0f B/s) not well below node 1 (%.0f B/s)",
+				l, rates[0], rates[1])
+		}
+		// The full-rate nodes must probe within noise of each other.
+		if rates[1] > 1.5*rates[2] || rates[2] > 1.5*rates[1] {
+			t.Fatalf("leaf %d: homogeneous nodes probed apart: %v", l, rates)
+		}
+	}
+}
+
+// TestPlannerHomogeneousSelectionKeepsDefault pins the regression the
+// ISSUE demands: on a homogeneous grid the selection logic provably
+// changes nothing — every leaf keeps the lowest-rank default, the
+// model fields stay zero, and predictions are bit-identical to the
+// pre-selection planner.
+func TestPlannerHomogeneousSelectionKeepsDefault(t *testing.T) {
+	pl, err := NewPlanner(testTopo(), cheapOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := 64 << 10
+	before := pl.Predict(m)
+	choices, err := pl.SelectCoordinators(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(choices) != 2 {
+		t.Fatalf("%d choices, want 2", len(choices))
+	}
+	for _, c := range choices {
+		if !c.Default {
+			t.Fatalf("homogeneous grid selected a non-default coordinator: %v", c)
+		}
+	}
+	for l, lf := range pl.Model.Leaves() {
+		if lf.NumCoords != 0 || lf.CoordBeta != 0 {
+			t.Fatalf("leaf %d model touched by default selection: C=%d β=%v", l, lf.NumCoords, lf.CoordBeta)
+		}
+	}
+	after := pl.Predict(m)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("default selection changed predictions: %v -> %v", before[i], after[i])
+		}
+	}
+	// PlanSpec still compiles to the default lowest-rank plan.
+	plan := coll.PlanHierTree(pl.PlanSpec(), coll.HierGather)
+	for l := 0; l < plan.Tree.NumLeaves(); l++ {
+		coords := plan.Tree.Coordinators(l)
+		members := plan.Tree.LeafMembers(l)
+		if len(coords) != 1 || coords[0] != members[0] {
+			t.Fatalf("leaf %d: default PlanSpec coordinators = %v, want lowest rank %d", l, coords, members[0])
+		}
+	}
+}
+
+// TestPlannerSelectsCoordinatorOnHeteroGrid is the tentpole acceptance
+// test on a two-cluster heterogeneous grid: selection must steer every
+// leaf's relay off the degraded rank 0 port, and the chosen plan must
+// beat the lowest-rank default in packet-level simulation.
+func TestPlannerSelectsCoordinatorOnHeteroGrid(t *testing.T) {
+	topo := heteroTestTopo(4)
+	pl, err := NewPlanner(topo, cheapOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := 64 << 10
+	choices, err := pl.SelectCoordinators(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonDefault := 0
+	for _, c := range choices {
+		if c.Default {
+			continue
+		}
+		nonDefault++
+		for _, i := range c.Local {
+			if i == 0 {
+				t.Fatalf("selection kept the degraded node 0 in %v", c)
+			}
+		}
+	}
+	if nonDefault == 0 {
+		t.Fatalf("selection kept the lowest-rank default on a heterogeneous grid: %v", choices)
+	}
+
+	// Ground truth: the selected hier-gather plan must beat the
+	// lowest-rank default (averaged over seeds; lossy TCP is noisy).
+	defT, selT := 0.0, 0.0
+	for _, seed := range []int64{7, 19} {
+		d, err := Simulate(topo, HierGather, m, seed, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := SimulateSpec(topo, pl.PlanSpec(), coll.HierGather, m, seed, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defT += d / 2
+		selT += s / 2
+	}
+	if selT >= defT {
+		t.Fatalf("selected coordinators (%.3fs) did not beat the lowest-rank default (%.3fs)", selT, defT)
+	}
+}
+
+// TestPlannerHeteroCanonicalAcceptance is the acceptance test on the
+// canonical heterogeneous grid (hetero-3lvl): the planner must select a
+// non-lowest-rank coordinator for every campus, the selected
+// hier-gather plan must beat the lowest-rank default in packet-level
+// simulation on every seed, and the predicted strategy ranking (with
+// the selection applied) must match simulation order.
+func TestPlannerHeteroCanonicalAcceptance(t *testing.T) {
+	topo, err := cluster.TreeByName("hetero-3lvl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPlanner(topo, Options{FitN: 6, Reps: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 48 KiB sits in the model's claimed bracket; larger sizes push the
+	// continental exchange many MB past the measured curve, where
+	// completion is RTO-chaotic (docs/MODEL.md §6).
+	m := 48 << 10
+	choices, err := pl.SelectCoordinators(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(choices) != 4 {
+		t.Fatalf("%d choices, want 4", len(choices))
+	}
+	for _, c := range choices {
+		if c.Default {
+			t.Fatalf("campus %d kept the degraded lowest-rank default: %v", c.Leaf, c)
+		}
+		for _, i := range c.Local {
+			if i == 0 {
+				t.Fatalf("campus %d selection kept the degraded node 0: %v", c.Leaf, c)
+			}
+		}
+	}
+	// The plan spec must route every tier — leaves AND the inner nation
+	// tiers, whose default relay is the same degraded lowest rank — off
+	// the 100 Mb ports (ranks 0, 4, 8, 12).
+	degraded := map[int]bool{0: true, 4: true, 8: true, 12: true}
+	var walkSpec func(s coll.TreeSpec, depth int)
+	walkSpec = func(s coll.TreeSpec, depth int) {
+		if depth > 0 && len(s.Children) > 0 && len(s.Coords) == 0 {
+			t.Fatalf("inner tier at depth %d left on its degraded default relay", depth)
+		}
+		for _, cr := range s.Coords {
+			if degraded[cr] {
+				t.Fatalf("plan spec relays through degraded rank %d", cr)
+			}
+		}
+		for _, c := range s.Children {
+			walkSpec(c, depth+1)
+		}
+	}
+	walkSpec(pl.PlanSpec(), 0)
+
+	for _, seed := range []int64{7, 19} {
+		defT, err := Simulate(topo, HierGather, m, seed, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		selT, err := SimulateSpec(topo, pl.PlanSpec(), coll.HierGather, m, seed, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if selT >= defT {
+			t.Fatalf("seed %d: selected coordinators (%.3fs) did not beat the lowest-rank default (%.3fs)",
+				seed, selT, defT)
+		}
+	}
+	rankingMatchesSimulation(t, topo, pl, []int{m}, 0.08)
+}
+
+// TestPlannerSelectsMultiCoordinatorForWideLeaf: a wide Fast Ethernet
+// cluster next to two small Gigabit ones saturates any single
+// coordinator port with its gather incast, so selection must split the
+// wide leaf's relay across two coordinators (C=2) while the narrow
+// leaves keep their lowest-rank default — and the split plan must beat
+// the default in packet-level simulation.
+func TestPlannerSelectsMultiCoordinatorForWideLeaf(t *testing.T) {
+	fe := cluster.WANTuned(cluster.FastEthernet())
+	gp := cluster.GridProfile{
+		Name: "wide-mixed",
+		Members: []cluster.GridMember{
+			{Profile: fe, Nodes: 8},
+			{Profile: wanTunedGE(), Nodes: 3},
+			{Profile: wanTunedGE(), Nodes: 3},
+		},
+		WAN: cluster.DefaultWAN(20 * sim.Millisecond),
+	}
+	topo := gp.Tree()
+	pl, err := NewPlanner(topo, cheapOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := 64 << 10
+	choices, err := pl.SelectCoordinators(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := choices[0]
+	if wide.Default || len(wide.Local) != 2 {
+		t.Fatalf("wide leaf not split across two coordinators: %v", wide)
+	}
+	for _, c := range choices[1:] {
+		if !c.Default {
+			t.Fatalf("narrow leaf %d unexpectedly changed coordinators: %v", c.Leaf, c)
+		}
+	}
+	for _, seed := range []int64{7, 19} {
+		defT, err := Simulate(topo, HierGather, m, seed, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		selT, err := SimulateSpec(topo, pl.PlanSpec(), coll.HierGather, m, seed, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if selT >= defT {
+			t.Fatalf("seed %d: split coordinators (%.3fs) did not beat the single default (%.3fs)",
+				seed, selT, defT)
+		}
 	}
 }

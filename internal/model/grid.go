@@ -121,9 +121,35 @@ type ModelNode struct {
 	Size int
 	LAN  Signature
 
+	// NumCoords is the number of coordinators the hierarchical relay
+	// splits this leaf's gather/scatter across (coordinator selection,
+	// internal/grid). Zero or one is the single-coordinator default:
+	// the κ-priced incast lands on one NIC port. With C > 1 the incast
+	// volume divides across C ports (see docs/MODEL.md §4).
+	NumCoords int
+	// CoordBeta is the measured per-byte gap (s/B) of the slowest
+	// chosen coordinator's NIC — the uplink headroom asymmetry term.
+	// Zero means no headroom data: the local legs fall back to the LAN
+	// signature's β and no coordinator-port floor is added to the tier
+	// exchange, reproducing the pre-selection model exactly.
+	CoordBeta float64
+
 	// Children and Wan describe a group tier.
 	Children []*ModelNode
 	Wan      WANModel
+}
+
+// coordSplit returns the leaf's effective coordinator count, clamped to
+// its size.
+func (v *ModelNode) coordSplit() int {
+	c := v.NumCoords
+	if c < 1 {
+		c = 1
+	}
+	if c > v.Size {
+		c = v.Size
+	}
+	return c
 }
 
 // LeafNode returns a leaf model node.
@@ -331,7 +357,12 @@ func (g GridModel) PredictFlat(m int) float64 {
 
 // exchangeAt returns the worst-child time of the aggregated coordinator
 // exchange at group tier v: one message per sibling pair, posted
-// concurrently; per-flow curve limit vs aggregate wire limit.
+// concurrently; per-flow curve limit vs aggregate wire limit. When a
+// leaf child carries measured coordinator headroom (CoordBeta > 0), its
+// outbound aggregate is additionally floored by serialization through
+// the chosen coordinator ports — the headroom asymmetry term: a slow
+// coordinator NIC bounds the whole aggregated exchange, and a C-way
+// split spreads the aggregate over C ports.
 func (g GridModel) exchangeAt(v *ModelNode, m int) float64 {
 	worst := 0.0
 	for _, c := range v.Children {
@@ -353,6 +384,12 @@ func (g GridModel) exchangeAt(v *ModelNode, m int) float64 {
 		t := perFlow
 		if wire > t {
 			t = wire
+		}
+		if c.IsLeaf() && c.CoordBeta > 0 {
+			port := v.Wan.Alpha() + float64(total)/float64(c.coordSplit())*c.CoordBeta
+			if port > t {
+				t = port
+			}
 		}
 		if t > worst {
 			worst = t
@@ -430,8 +467,12 @@ func (g GridModel) tierLegs(m int) (xchg, scatter float64) {
 }
 
 // leafLocal returns the worst leaf's gather (equivalently scatter) leg:
-// s−1 local transfers of a rank's entire remote-bound volume, serialized
-// at the coordinator's NIC.
+// s−1 local transfers of a rank's remote-bound volume, serialized at
+// the coordinator NIC. With C coordinators the volume partitions by
+// divergence target, so each of the C concurrent incasts moves a 1/C
+// share per member — the C-way split of the κ-priced term. Measured
+// coordinator headroom (CoordBeta) replaces the nominal LAN gap when
+// present; both default to the pre-selection model.
 func (g GridModel) leafLocal(m int) float64 {
 	n := g.TotalNodes()
 	worst := 0.0
@@ -441,7 +482,12 @@ func (g GridModel) leafLocal(m int) float64 {
 			continue
 		}
 		h := lf.LAN.H
-		if t := float64(s-1) * (h.Alpha + float64((n-s)*m)*h.Beta); t > worst {
+		beta := h.Beta
+		if lf.CoordBeta > 0 {
+			beta = lf.CoordBeta
+		}
+		c := float64(lf.coordSplit())
+		if t := float64(s-1) * (h.Alpha + float64((n-s)*m)*beta/c); t > worst {
 			worst = t
 		}
 	}

@@ -275,3 +275,100 @@ func TestGridSingleClusterDegeneratesToSignature(t *testing.T) {
 		t.Fatalf("single-cluster hier-gather = %v, want pure signature %v", got, want)
 	}
 }
+
+// TestGridCoordSplitLowersGatherLeg: splitting a leaf's relay across C
+// coordinators divides the per-member incast volume by C — the κ-priced
+// local leg shrinks by exactly the modeled share, and the prediction
+// with defaults (NumCoords 0 or 1, CoordBeta 0) is untouched.
+func TestGridCoordSplitLowersGatherLeg(t *testing.T) {
+	m := 64 << 10
+	base := gridModelFixture()
+	_, _, local1 := base.HierGatherParts(m)
+
+	split := gridModelFixture()
+	for _, lf := range split.Leaves() {
+		lf.NumCoords = 2
+	}
+	_, _, local2 := split.HierGatherParts(m)
+
+	sig := testSig()
+	s, n := 4, 8
+	want1 := 2 * float64(s-1) * (sig.H.Alpha + float64((n-s)*m)*sig.H.Beta)
+	want2 := 2 * float64(s-1) * (sig.H.Alpha + float64((n-s)*m)*sig.H.Beta/2)
+	if math.Abs(local1-want1) > 1e-12 {
+		t.Fatalf("default local leg = %v, want closed form %v", local1, want1)
+	}
+	if math.Abs(local2-want2) > 1e-12 {
+		t.Fatalf("2-way split local leg = %v, want closed form %v", local2, want2)
+	}
+	if split.PredictHierGather(m) >= base.PredictHierGather(m) {
+		t.Fatal("2-way coordinator split must lower the hier-gather prediction")
+	}
+
+	// NumCoords == 1 is the explicit default, and the split clamps to
+	// the leaf size.
+	one := gridModelFixture()
+	for _, lf := range one.Leaves() {
+		lf.NumCoords = 1
+	}
+	if one.PredictHierGather(m) != base.PredictHierGather(m) {
+		t.Fatal("NumCoords=1 must equal the default prediction")
+	}
+	over := gridModelFixture()
+	for _, lf := range over.Leaves() {
+		lf.NumCoords = 99
+	}
+	clamped := gridModelFixture()
+	for _, lf := range clamped.Leaves() {
+		lf.NumCoords = 4 // leaf size
+	}
+	if over.PredictHierGather(m) != clamped.PredictHierGather(m) {
+		t.Fatal("NumCoords beyond the leaf size must clamp to it")
+	}
+}
+
+// TestGridCoordBetaHeadroomAsymmetry: measured coordinator headroom
+// replaces the nominal LAN gap in the local legs and floors the tier
+// exchange by coordinator-port serialization — a degraded coordinator
+// NIC raises both hierarchical predictions, and a C-way split wins part
+// of it back.
+func TestGridCoordBetaHeadroomAsymmetry(t *testing.T) {
+	m := 64 << 10
+	base := gridModelFixture()
+	_, xchgBase, _ := base.HierGatherParts(m)
+
+	slow := gridModelFixture()
+	slowBeta := 100 * testSig().H.Beta // a NIC two orders slower
+	for _, lf := range slow.Leaves() {
+		lf.CoordBeta = slowBeta
+	}
+	_, xchgSlow, localSlow := slow.HierGatherParts(m)
+	if xchgSlow <= xchgBase {
+		t.Fatalf("slow coordinator NIC must floor the exchange leg (%v -> %v)", xchgBase, xchgSlow)
+	}
+	// The floor is exactly α + total·CoordBeta for the worst child
+	// (both children symmetric here: 4·4·m outbound bytes).
+	wantFloor := testWan().Alpha() + float64(4*4*m)*slowBeta
+	if math.Abs(xchgSlow-wantFloor) > 1e-12 {
+		t.Fatalf("exchange floor = %v, want port serialization %v", xchgSlow, wantFloor)
+	}
+	if slow.PredictHierGather(m) <= base.PredictHierGather(m) {
+		t.Fatal("degraded coordinator NIC must raise the hier-gather prediction")
+	}
+	if slow.PredictHierDirect(m) <= base.PredictHierDirect(m) {
+		t.Fatal("degraded coordinator NIC must raise the hier-direct prediction")
+	}
+
+	// Splitting across two (equally slow) ports halves both the incast
+	// share and the port floor's per-port volume.
+	split := gridModelFixture()
+	for _, lf := range split.Leaves() {
+		lf.CoordBeta = slowBeta
+		lf.NumCoords = 2
+	}
+	_, xchgSplit, localSplit := split.HierGatherParts(m)
+	if xchgSplit >= xchgSlow || localSplit >= localSlow {
+		t.Fatalf("2-way split must relieve the port bottleneck (xchg %v->%v, local %v->%v)",
+			xchgSlow, xchgSplit, localSlow, localSplit)
+	}
+}

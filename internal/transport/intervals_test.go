@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Dedicated coverage for intervalSet (intervals.go): the out-of-order
+// receive buffer behind SACK reassembly. TestIntervalSet
+// (transport_test.go) covers the basic merge shapes; these tests pin
+// the failure paths and fuzz the structure against a reference model.
+
+// TestIntervalSetInvertedRangeRejected: an inverted or empty range is
+// the failure path of add — it must be a no-op, never a corrupted
+// entry.
+func TestIntervalSetInvertedRangeRejected(t *testing.T) {
+	var s intervalSet
+	s.add(20, 10) // inverted
+	if !s.empty() {
+		t.Fatalf("inverted add created data: %+v", s.iv)
+	}
+	s.add(10, 20)
+	s.add(40, 30) // inverted, with existing data
+	if len(s.iv) != 1 || s.iv[0] != (interval{10, 20}) {
+		t.Fatalf("inverted add corrupted the set: %+v", s.iv)
+	}
+	if got := s.advance(0); got != 0 {
+		t.Fatalf("advance(0) = %d, want 0 (hole before first range)", got)
+	}
+}
+
+// TestIntervalSetAbsorbsSpanningAdd: one add can swallow several
+// existing ranges at once.
+func TestIntervalSetAbsorbsSpanningAdd(t *testing.T) {
+	var s intervalSet
+	s.add(10, 20)
+	s.add(30, 40)
+	s.add(50, 60)
+	s.add(5, 65)
+	if len(s.iv) != 1 || s.iv[0] != (interval{5, 65}) {
+		t.Fatalf("spanning add failed to absorb: %+v", s.iv)
+	}
+}
+
+// TestIntervalSetAdjacencyMerges: ranges touching end-to-start merge;
+// a one-byte gap does not.
+func TestIntervalSetAdjacencyMerges(t *testing.T) {
+	var s intervalSet
+	s.add(10, 20)
+	s.add(20, 30) // adjacent: merges
+	if len(s.iv) != 1 || s.iv[0] != (interval{10, 30}) {
+		t.Fatalf("adjacent ranges did not merge: %+v", s.iv)
+	}
+	s.add(31, 40) // one-byte hole at 30
+	if len(s.iv) != 2 {
+		t.Fatalf("hole collapsed: %+v", s.iv)
+	}
+	if got := s.advance(10); got != 30 {
+		t.Fatalf("advance stopped at %d, want 30 (hole at 30)", got)
+	}
+	if s.empty() {
+		t.Fatal("data past the hole must stay buffered")
+	}
+}
+
+// TestIntervalSetAdvancePartialOverlap: advancing from inside the
+// first range consumes it from the frontier.
+func TestIntervalSetAdvancePartialOverlap(t *testing.T) {
+	var s intervalSet
+	s.add(10, 30)
+	if got := s.advance(15); got != 30 || !s.empty() {
+		t.Fatalf("advance(15) = %d (empty=%v), want 30 and empty", got, s.empty())
+	}
+	// Advancing past everything leaves pos untouched.
+	s.add(40, 50)
+	if got := s.advance(60); got != 60 || !s.empty() {
+		t.Fatalf("advance(60) = %d (empty=%v), want 60 and empty", got, s.empty())
+	}
+}
+
+// TestIntervalSetRandomAgainstReference fuzzes add/advance against a
+// per-byte reference bitmap: the set must report exactly the reference
+// frontier after every advance, across duplicated, overlapping and
+// inverted adds.
+func TestIntervalSetRandomAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		var s intervalSet
+		const span = 200
+		have := [span]bool{}
+		pos := int64(0)
+		for op := 0; op < 60; op++ {
+			a := int64(rng.Intn(span))
+			b := int64(rng.Intn(span))
+			if rng.Intn(5) == 0 {
+				a, b = b, a // sometimes inverted on purpose
+			}
+			s.add(a, b)
+			for i := a; i < b && i < span; i++ {
+				have[i] = true
+			}
+			// Reference frontier: first uncovered byte at or after pos.
+			want := pos
+			for want < span && have[want] {
+				want++
+			}
+			if got := s.advance(pos); got != want {
+				t.Fatalf("iter %d op %d: advance(%d) = %d, want %d (after add [%d,%d))",
+					iter, op, pos, got, want, a, b)
+			} else {
+				pos = got
+			}
+		}
+	}
+}
