@@ -1,9 +1,12 @@
 // lintdoc is the repository's godoc lint: it fails when a package in
-// the given directories misses its package comment or exports an
+// the given directories misses its package comment, exports an
 // identifier (type, function, method, var, const) without a doc
-// comment. CI runs it over the core packages so the documented-API
-// guarantee of docs/ARCHITECTURE.md stays enforced, with no external
-// linter dependency.
+// comment, or documents an exported identifier with a comment that does
+// not start with the identifier's name (go vet style — "Foo ..." or
+// "A Foo ..."; grouped declarations whose shared comment covers several
+// names are exempt). CI runs it over the core packages so the
+// documented-API guarantee of docs/ARCHITECTURE.md stays enforced, with
+// no external linter dependency.
 //
 // Usage:
 //
@@ -30,7 +33,7 @@ func main() {
 		bad += lintDir(dir)
 	}
 	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "lintdoc: %d undocumented exported identifier(s)\n", bad)
+		fmt.Fprintf(os.Stderr, "lintdoc: %d godoc issue(s)\n", bad)
 		os.Exit(1)
 	}
 }
@@ -72,6 +75,9 @@ func lintDir(dir string) int {
 					}
 					if d.Doc == nil || len(strings.TrimSpace(d.Doc.Text())) == 0 {
 						report(d.Pos(), "exported %s %s has no doc comment", declKind(d), d.Name.Name)
+					} else if !docStartsWithName(d.Doc.Text(), d.Name.Name) {
+						report(d.Pos(), "comment on exported %s %s should be of the form %q",
+							declKind(d), d.Name.Name, d.Name.Name+" ...")
 					}
 				case *ast.GenDecl:
 					lintGenDecl(d, report)
@@ -109,17 +115,33 @@ func receiverExported(d *ast.FuncDecl) bool {
 }
 
 // lintGenDecl checks exported specs of a const/var/type declaration.
-// A doc comment on the grouped declaration covers every spec in it.
+// A doc comment on the grouped declaration covers every spec in it; the
+// starts-with-name rule applies only where a comment documents exactly
+// one identifier (a spec's own doc, or an ungrouped declaration's).
 func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string, ...any)) {
 	groupDoc := d.Doc != nil && len(strings.TrimSpace(d.Doc.Text())) > 0
+	// An ungrouped declaration (`type T ...`, `var V = ...`) parses as
+	// one spec whose doc sits on the GenDecl: that comment names exactly
+	// this identifier and must start with it.
+	soleSpec := !d.Lparen.IsValid() && len(d.Specs) == 1
 	for _, spec := range d.Specs {
 		switch s := spec.(type) {
 		case *ast.TypeSpec:
 			if !s.Name.IsExported() {
 				continue
 			}
-			if !groupDoc && (s.Doc == nil || len(strings.TrimSpace(s.Doc.Text())) == 0) {
+			doc := ""
+			if s.Doc != nil {
+				doc = s.Doc.Text()
+			} else if groupDoc && soleSpec {
+				doc = d.Doc.Text()
+			}
+			switch {
+			case !groupDoc && len(strings.TrimSpace(doc)) == 0:
 				report(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+			case len(strings.TrimSpace(doc)) > 0 && !docStartsWithName(doc, s.Name.Name):
+				report(s.Pos(), "comment on exported type %s should be of the form %q",
+					s.Name.Name, s.Name.Name+" ...")
 			}
 		case *ast.ValueSpec:
 			var exported []string
@@ -131,11 +153,47 @@ func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string, ...any)) {
 			if len(exported) == 0 {
 				continue
 			}
-			specDoc := (s.Doc != nil && len(strings.TrimSpace(s.Doc.Text())) > 0) ||
-				(s.Comment != nil && len(strings.TrimSpace(s.Comment.Text())) > 0)
-			if !groupDoc && !specDoc {
+			// Trailing line comments (`X = 1 // annotation`) count as
+			// documentation for the missing-doc check but are exempt
+			// from the starts-with-name rule: the convention governs
+			// doc comments, not idiomatic trailing annotations.
+			doc, trailing := "", false
+			if s.Doc != nil {
+				doc = s.Doc.Text()
+			} else if groupDoc && soleSpec {
+				doc = d.Doc.Text()
+			} else if s.Comment != nil {
+				doc, trailing = s.Comment.Text(), true
+			}
+			if !groupDoc && len(strings.TrimSpace(doc)) == 0 {
 				report(s.Pos(), "exported %s %s has no doc comment", d.Tok, strings.Join(exported, ", "))
+				continue
+			}
+			// A comment can only be required to lead with the name when
+			// it documents exactly one identifier.
+			if len(s.Names) == 1 && !trailing && len(strings.TrimSpace(doc)) > 0 &&
+				!docStartsWithName(doc, exported[0]) {
+				report(s.Pos(), "comment on exported %s %s should be of the form %q",
+					d.Tok, exported[0], exported[0]+" ...")
 			}
 		}
 	}
+}
+
+// docStartsWithName reports whether a doc comment leads with the
+// identifier it documents, allowing one leading article ("A", "An",
+// "The") before the name, per the Go documentation convention.
+func docStartsWithName(doc, name string) bool {
+	fields := strings.Fields(doc)
+	if len(fields) == 0 {
+		return true // emptiness is the missing-comment check's business
+	}
+	if fields[0] == name {
+		return true
+	}
+	switch fields[0] {
+	case "A", "An", "The":
+		return len(fields) > 1 && fields[1] == name
+	}
+	return false
 }

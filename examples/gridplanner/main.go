@@ -84,7 +84,7 @@ func main() {
 		"grid", "levels", "nodes", "best_strat", "comm_time_s", "meets_dl", "cost_EUR/h")
 
 	bestCost, bestDesc := -1.0, ""
-	var widePlanner *grid.Planner
+	var widePlanner, threePlanner *grid.Planner
 	for _, c := range cands {
 		// Characterize each member network and each WAN tier once; the
 		// model then predicts any message size on this topology.
@@ -118,6 +118,9 @@ func main() {
 		}
 		if c.topo.Name == wide.Name {
 			widePlanner = pl
+		}
+		if c.topo.Name == threeLvl.Name {
+			threePlanner = pl
 		}
 	}
 	if bestCost >= 0 {
@@ -163,4 +166,27 @@ func main() {
 		coll.AlltoallHierPlanned(r, selPlan, msgSize)
 	})
 	fmt.Printf("one simulated exchange at %d B per pair: %.2fs\n", msgSize, measSel.Mean())
+
+	// Irregular workloads: the same characterization ranks strategies
+	// per size matrix (All-to-Allv). Here the 3-level deployment runs a
+	// hotspot workload — rank 0 fans out 4× bulk to every peer — and the
+	// planner prices each tier's WAN leg by the matrix's actual
+	// cross-subtree byte cuts instead of n·m (docs/MODEL.md §7).
+	hotspot := coll.SizeMatrixFromRows(cluster.HotspotRowBytes(threeLvl, msgSize, 0, 4))
+	fmt.Printf("\nAll-to-Allv on %s (hotspot-row: rank 0 sends 4×%d B per pair):\n",
+		threeLvl.Name, msgSize)
+	for _, pr := range threePlanner.PredictV(hotspot) { // sorted fastest first
+		fmt.Printf("  %-12s %.2fs predicted\n", pr.Strategy, pr.T)
+	}
+	gv, err := cluster.BuildGridTree(threeLvl, 1)
+	if err != nil {
+		panic(err)
+	}
+	vplan := coll.PlanHierTreeV(threePlanner.PlanSpec(), coll.HierGather, hotspot)
+	wv := mpi.NewWorld(gv.Env, mpi.Config{})
+	measV := coll.Measure(wv, 1, 1, func(r *mpi.Rank) {
+		coll.AlltoallHierPlannedV(r, vplan)
+	})
+	fmt.Printf("one simulated %s exchange of the hotspot matrix (%d B total): %.2fs\n",
+		vplan.Alg, hotspot.Total(), measV.Mean())
 }

@@ -405,6 +405,7 @@ type planOp struct {
 	peer   int
 	tag    int32
 	blocks int
+	msgIdx int // index into the plan's message list, for byte annotation
 }
 
 // hierPhase groups the operations a rank posts together and then waits
@@ -424,6 +425,10 @@ type HierPlan struct {
 	Tree    TreePlacement
 	perRank [][]hierPhase
 	msgs    []*hierMsg // block-annotated message list, for verification
+	// vbytes carries each message's total payload bytes when the plan
+	// was compiled from a SizeMatrix (PlanHierTreeV), indexed like msgs;
+	// nil for uniform plans, whose executor multiplies blocks by m.
+	vbytes []int
 }
 
 // NumPhases returns the deepest per-rank phase count of the plan.
@@ -484,10 +489,11 @@ func (b *planBuilder) msg(from, fromPhase, to, toPhase int, blocks []Block) {
 	b.tags[key]++
 	m := &hierMsg{from: from, to: to, fromPhase: fromPhase, toPhase: toPhase, tag: tag, blocks: blocks}
 	b.msgs = append(b.msgs, m)
+	idx := len(b.msgs) - 1
 	sp := b.phase(from, fromPhase)
-	sp.sends = append(sp.sends, planOp{peer: to, tag: tag, blocks: len(blocks)})
+	sp.sends = append(sp.sends, planOp{peer: to, tag: tag, blocks: len(blocks), msgIdx: idx})
 	rp := b.phase(to, toPhase)
-	rp.recvs = append(rp.recvs, planOp{peer: from, tag: tag, blocks: len(blocks)})
+	rp.recvs = append(rp.recvs, planOp{peer: from, tag: tag, blocks: len(blocks), msgIdx: idx})
 }
 
 // PlanHier compiles the hierarchical All-to-All plan for a flat

@@ -1,7 +1,10 @@
 // Package exp defines and runs the paper's evaluation: one experiment
-// per figure (F2–F14), the signature parameter table (TA), and the
-// ablations called out in DESIGN.md (AB1–AB3). Each experiment returns
-// tabular Series that cmd/atabench prints and bench_test.go reports.
+// per figure (F2–F14), the signature parameter table (TA), the
+// ablations called out in DESIGN.md (AB1–AB3), the extensions
+// (EX1–EX3), and the grid experiments (GR1 two-level, GR2 3-level, GR3
+// coordinator selection, GR4 irregular All-to-Allv). Each experiment
+// returns tabular Series that cmd/atabench prints and bench_test.go
+// reports.
 //
 // Experiments accept a Config whose Scale field shrinks grids and
 // message sizes so the full suite stays affordable in CI; Scale = 1

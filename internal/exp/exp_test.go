@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"AB1", "AB2", "AB3",
 		"EX1", "EX2", "EX3",
 		"F02", "F03", "F04", "F05", "F06", "F07", "F08",
-		"F09", "F10", "F11", "F12", "F13", "F14", "GR1", "GR2", "GR3", "TA",
+		"F09", "F10", "F11", "F12", "F13", "F14", "GR1", "GR2", "GR3", "GR4", "TA",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -104,7 +104,7 @@ func TestFitExperimentRuns(t *testing.T) {
 }
 
 func TestGridExperimentRuns(t *testing.T) {
-	for id, wantNote := range map[string]string{"GR1": "WAN", "GR2": "tier", "GR3": "coordinator"} {
+	for id, wantNote := range map[string]string{"GR1": "WAN", "GR2": "tier", "GR3": "coordinator", "GR4": "patterns"} {
 		e, err := ByID(id)
 		if err != nil {
 			t.Fatal(err)
@@ -117,8 +117,20 @@ func TestGridExperimentRuns(t *testing.T) {
 		if len(s.Rows) == 0 {
 			t.Fatalf("%s: empty prediction-vs-simulation series", id)
 		}
+		predCol, simCol := -1, -1
+		for i, c := range s.Cols {
+			switch c {
+			case "predicted_s":
+				predCol = i
+			case "simulated_s":
+				simCol = i
+			}
+		}
+		if predCol < 0 || simCol < 0 {
+			t.Fatalf("%s: series lacks predicted_s/simulated_s columns: %v", id, s.Cols)
+		}
 		for _, row := range s.Rows {
-			pred, sim := row[2], row[3]
+			pred, sim := row[predCol], row[simCol]
 			if pred <= 0 || sim <= 0 {
 				t.Fatalf("%s: nonpositive times in row %v", id, row)
 			}

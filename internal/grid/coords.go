@@ -171,6 +171,44 @@ func leafTargetCounts(t cluster.TopoNode) []int {
 // (refitStrategyFactors), Predict reflects both, and PlanSpec carries
 // the annotation.
 func (pl *Planner) SelectCoordinators(m int) ([]CoordChoice, error) {
+	return pl.selectCoordinators(func() float64 {
+		hg, hd := pl.Model.PredictHierGather(m), pl.Model.PredictHierDirect(m)
+		if hd < hg {
+			return hd
+		}
+		return hg
+	})
+}
+
+// SelectCoordinatorsV is the irregular-exchange form of
+// SelectCoordinators: candidates are evaluated through the v-model at
+// the given size matrix, so a candidate's predicted cost weighs its
+// measured headroom by the leaf's *actual* relay bytes (the matrix's
+// out- and inbound cuts at that leaf) rather than by the uniform
+// (n−s)·m volume — a leaf that relays little can keep a mediocre
+// default port while a hotspot leaf is steered or split. Decision
+// margin, model application and the ω/κ refit are shared with the
+// uniform path; uniform matrices select identically to
+// SelectCoordinators at m.
+func (pl *Planner) SelectCoordinatorsV(sz coll.SizeMatrix) ([]CoordChoice, error) {
+	if sz.NumRanks() != pl.Model.TotalNodes() {
+		return nil, fmt.Errorf("grid: size matrix covers %d ranks, topology has %d",
+			sz.NumRanks(), pl.Model.TotalNodes())
+	}
+	return pl.selectCoordinators(func() float64 {
+		hg, hd := pl.Model.PredictHierGatherV(sz), pl.Model.PredictHierDirectV(sz)
+		if hd < hg {
+			return hd
+		}
+		return hg
+	})
+}
+
+// selectCoordinators is the shared selection core: hierBest returns the
+// best hierarchical prediction under the model's current per-leaf
+// coordinator fields (NumCoords, CoordBeta), which the candidate loop
+// mutates and compares through it.
+func (pl *Planner) selectCoordinators(hierBest func() float64) ([]CoordChoice, error) {
 	leaves := pl.Model.Leaves()
 	targetCounts := leafTargetCounts(pl.Topo)
 	bases := make([]int, len(leaves))
@@ -178,14 +216,6 @@ func (pl *Planner) SelectCoordinators(m int) ([]CoordChoice, error) {
 	for l, lf := range pl.Topo.Leaves() {
 		bases[l] = base
 		base += lf.Nodes
-	}
-
-	hierBest := func() float64 {
-		hg, hd := pl.Model.PredictHierGather(m), pl.Model.PredictHierDirect(m)
-		if hd < hg {
-			return hd
-		}
-		return hg
 	}
 
 	// Provisional pricing: while candidates are compared, every

@@ -21,6 +21,7 @@ package grid
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/calib"
 	"repro/internal/cluster"
@@ -354,10 +355,41 @@ func characterizeTier(full cluster.TopoNode, node cluster.TopoNode, a, b int, op
 	}, nil
 }
 
-// profileKey renders a profile value as a cache key. Profiles carry a
-// per-node rate slice, so the struct itself cannot key a map; members
-// sharing a name but not tuning must still not share a fit.
-func profileKey(p cluster.Profile) string { return fmt.Sprintf("%+v", p) }
+// profileKey renders a profile value as a cache key: every field
+// explicitly, strings quoted, slices element-wise. A reflective
+// rendering (%+v) is fragile here — it neither quotes strings (a crafted
+// Name could imitate field boundaries) nor pins a format for future
+// field types (maps iterate in random order, floats round) — and a key
+// collision would silently share one characterization between members
+// that need separate fits. When cluster.Profile (or its transport
+// configs) grows a field, extend this key; the collision regression
+// test enumerates fields to catch omissions.
+func profileKey(p cluster.Profile) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "name=%q kind=%d link=%d/%d edge=%d/%t leaves=%d/%d up=%d/%d core=%d rx=%d/%d",
+		p.Name, p.Kind, p.LinkRate, p.LinkLatency, p.PortBuffer, p.Lossless,
+		p.Leaves, p.NodesPerLeaf, p.UplinkRate, p.UplinkLatency, p.CorePortBuffer,
+		p.RxCostBase, p.RxCostPerConn)
+	b.WriteString(" rates=[")
+	for i, r := range p.NodeLinkRates {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", r)
+	}
+	fmt.Fprintf(&b, "] tcp={%d,%d,%d,%d,%d,%d,%d,%d,%d,%d}",
+		p.TCP.MSS, p.TCP.HeaderSize, p.TCP.AckSize, p.TCP.RcvWindow, p.TCP.InitCwnd,
+		p.TCP.RTOMin, p.TCP.RTOMax, p.TCP.TxQueueLimit, p.TCP.DelAckTimeout, p.TCP.AckJitter)
+	fmt.Fprintf(&b, " gm={%d,%d}", p.GM.MTU, p.GM.HeaderSize)
+	return b.String()
+}
+
+// wanKey renders a WAN tier's parameters for topoKey, field-wise like
+// profileKey.
+func wanKey(w cluster.WANConfig) string {
+	return fmt.Sprintf("rate=%d lat=%d buf=%d proc=%d mesh=%t",
+		w.Rate, w.Latency, w.PortBuffer, w.ProcDelay, w.Mesh)
+}
 
 // topoKey renders a subtree as a canonical string: profile and node
 // count at leaves, WAN parameters and child keys at groups. Used to
@@ -366,9 +398,9 @@ func profileKey(p cluster.Profile) string { return fmt.Sprintf("%+v", p) }
 // tiers that differ only in their generated names share one fit.
 func topoKey(t cluster.TopoNode) string {
 	if t.IsLeaf() {
-		return fmt.Sprintf("L{%+v|%d}", t.Profile, t.Nodes)
+		return fmt.Sprintf("L{%s|%d}", profileKey(t.Profile), t.Nodes)
 	}
-	key := fmt.Sprintf("G{%+v|", t.WAN)
+	key := fmt.Sprintf("G{%s|", wanKey(t.WAN))
 	for _, c := range t.Children {
 		key += topoKey(c) + ","
 	}
@@ -522,6 +554,29 @@ func (pl *Planner) Predict(m int) []Prediction {
 // Best returns the predicted-fastest strategy for message size m.
 func (pl *Planner) Best(m int) Prediction { return pl.Predict(m)[0] }
 
+// PredictV returns every strategy's predicted completion time for an
+// irregular total exchange with per-pair byte counts sz, sorted fastest
+// first: each tier's WAN leg is priced by the matrix's actual
+// cross-subtree cut instead of n·m (model.GridModel's v-variants).
+// Uniform matrices reduce to Predict bit-identically. The matrix ranks
+// must match the planner's topology (contiguous leaf blocks in tree
+// order, as BuildGridTree assigns them) — a mismatch panics, a
+// programming error like Predict on a foreign model; the v-APIs that
+// accept external input (SelectCoordinatorsV, SimulateV, SimulateSpecV)
+// validate and return errors instead.
+func (pl *Planner) PredictV(sz coll.SizeMatrix) []Prediction {
+	out := []Prediction{
+		{FlatDirect, pl.Model.PredictFlatV(sz)},
+		{HierGather, pl.Model.PredictHierGatherV(sz)},
+		{HierDirect, pl.Model.PredictHierDirectV(sz)},
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// BestV returns the predicted-fastest strategy for the size matrix sz.
+func (pl *Planner) BestV(sz coll.SizeMatrix) Prediction { return pl.PredictV(sz)[0] }
+
 // Simulate builds the topology and measures one strategy's All-to-All
 // completion time in full packet-level simulation — the planner's ground
 // truth for validation.
@@ -546,4 +601,56 @@ func Simulate(topo cluster.TopoNode, strat Strategy, m int, seed int64, warmup, 
 	}
 	w := mpi.NewWorld(g.Env, mpi.Config{})
 	return coll.Measure(w, warmup, reps, op).Mean(), nil
+}
+
+// SimulateV builds the topology and measures one strategy's irregular
+// All-to-Allv completion time in full packet-level simulation — the
+// ground truth for validating PredictV rankings (GR4). Flat direct runs
+// coll.AlltoallV; the hierarchical strategies compile the size matrix
+// into the plan with coll.PlanHierTreeV.
+func SimulateV(topo cluster.TopoNode, strat Strategy, sz coll.SizeMatrix, seed int64, warmup, reps int) (float64, error) {
+	g, err := cluster.BuildGridTree(topo, seed)
+	if err != nil {
+		return 0, err
+	}
+	if sz.NumRanks() != len(g.Env.Hosts) {
+		return 0, fmt.Errorf("grid: size matrix covers %d ranks, topology has %d",
+			sz.NumRanks(), len(g.Env.Hosts))
+	}
+	var op func(r *mpi.Rank)
+	switch strat {
+	case FlatDirect:
+		op = func(r *mpi.Rank) { coll.AlltoallV(r, sz, coll.Direct) }
+	case HierGather, HierDirect:
+		alg, _ := DescribeStrategy(strat)
+		plan := coll.PlanHierTreeV(coll.GridSpec(g), alg, sz)
+		op = func(r *mpi.Rank) { coll.AlltoallHierPlannedV(r, plan) }
+	default:
+		return 0, fmt.Errorf("grid: unknown strategy %v", strat)
+	}
+	w := mpi.NewWorld(g.Env, mpi.Config{})
+	return coll.Measure(w, warmup, reps, op).Mean(), nil
+}
+
+// SimulateSpecV builds the topology and measures one hierarchical
+// algorithm's All-to-Allv compiled from an explicit plan spec (e.g.
+// PlanSpec's selected coordinators) and a size matrix in full
+// packet-level simulation.
+func SimulateSpecV(topo cluster.TopoNode, spec coll.TreeSpec, alg coll.HierAlgorithm, sz coll.SizeMatrix, seed int64, warmup, reps int) (float64, error) {
+	g, err := cluster.BuildGridTree(topo, seed)
+	if err != nil {
+		return 0, err
+	}
+	plan := coll.PlanHierTree(spec, alg)
+	if plan.Place.NumRanks() != len(g.Env.Hosts) {
+		return 0, fmt.Errorf("grid: plan spec covers %d ranks, topology has %d",
+			plan.Place.NumRanks(), len(g.Env.Hosts))
+	}
+	if err := plan.BindSizes(sz); err != nil {
+		return 0, err
+	}
+	w := mpi.NewWorld(g.Env, mpi.Config{})
+	return coll.Measure(w, warmup, reps, func(r *mpi.Rank) {
+		coll.AlltoallHierPlannedV(r, plan)
+	}).Mean(), nil
 }

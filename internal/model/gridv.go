@@ -1,0 +1,464 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/coll"
+)
+
+// Irregular (All-to-Allv) predictions. The uniform grid model prices
+// every tier's WAN leg by counts — n·m crossing bytes, one m-byte flow
+// per rank pair — but an irregular exchange's per-pair sizes shift
+// those volumes per cluster pair. The v-variants below price each leg
+// by the *actual* bytes of the size matrix restricted to the tier cut:
+// topology subtrees own contiguous rank blocks (BuildGridTree assigns
+// ranks leaf by leaf in tree order), so every cut is a rectangle sum
+// over the matrix (coll.SizeMatrix.SumRect and friends).
+//
+// Two invariants anchor the v-model to the uniform one, both pinned by
+// tests:
+//
+//   - uniform fast path: a matrix whose off-diagonal entries all equal
+//     m delegates to the uniform predictor outright, so predictions are
+//     bit-identical, and
+//   - uniform reduction: the general v-legs, fed a uniform matrix,
+//     reproduce the uniform decompositions (cut sums collapse to the
+//     n·m count terms).
+//
+// The fitted contention factors (γ_wan per tier, ω, κ) are unchanged:
+// they summarize loss-recovery inflation of the *pattern* (flat chaos,
+// overlapped relay, synchronized incast), which skew shifts in volume
+// but not in kind, and they keep multiplying the same legs.
+
+// rankRanges assigns every node of the model tree its contiguous rank
+// interval [lo, hi), leaf sizes accumulated in tree order — the rank
+// assignment of a grid built from the mirrored topology.
+func (g GridModel) rankRanges() map[*ModelNode][2]int {
+	out := map[*ModelNode][2]int{}
+	lo := 0
+	var walk func(v *ModelNode)
+	walk = func(v *ModelNode) {
+		start := lo
+		if v.IsLeaf() {
+			lo += v.Size
+		} else {
+			for _, c := range v.Children {
+				walk(c)
+			}
+		}
+		out[v] = [2]int{start, lo}
+	}
+	walk(g.Root)
+	return out
+}
+
+// checkMatrix validates that a size matrix covers the model's ranks.
+func (g GridModel) checkMatrix(sz coll.SizeMatrix) {
+	if sz.NumRanks() != g.TotalNodes() {
+		panic(fmt.Sprintf("model: size matrix covers %d ranks, grid has %d",
+			sz.NumRanks(), g.TotalNodes()))
+	}
+}
+
+// outCut returns the bytes subtree [lo, hi) sends into the rest of
+// [outerLo, outerHi), i.e. the rectangle sum over both flanks, plus the
+// largest single pair entry of that cut (the per-flow curve limit).
+func outCut(sz coll.SizeMatrix, lo, hi, outerLo, outerHi int) (cut, maxPair int) {
+	cut = sz.SumRect(lo, hi, outerLo, lo) + sz.SumRect(lo, hi, hi, outerHi)
+	maxPair = sz.MaxRect(lo, hi, outerLo, lo)
+	if m := sz.MaxRect(lo, hi, hi, outerHi); m > maxPair {
+		maxPair = m
+	}
+	return cut, maxPair
+}
+
+// localEffSize returns the leaf's effective per-pair local message
+// size: the worst member's intra-leaf volume (outbound or inbound,
+// whichever is larger) spread over its s−1 local partners — the size at
+// which the leaf's contention signature prices the local exchange. A
+// uniform matrix reduces it to m exactly. ok is false when the leaf
+// exchanges no local bytes at all (the executor then posts no local
+// messages, so the leg costs nothing).
+func localEffSize(sz coll.SizeMatrix, lo, hi int) (eff int, ok bool) {
+	s := hi - lo
+	if s <= 1 {
+		return 0, false
+	}
+	worst := 0
+	for i := lo; i < hi; i++ {
+		v := sz.RowSum(i, lo, hi)
+		if in := sz.ColSum(i, lo, hi); in > v {
+			v = in
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	if worst == 0 {
+		return 0, false
+	}
+	return worst / (s - 1), true
+}
+
+// intraV returns the worst per-cluster intra-exchange time under the
+// matrix, each leaf priced by its signature at its effective local size.
+func (g GridModel) intraV(sz coll.SizeMatrix, ranges map[*ModelNode][2]int) float64 {
+	worst := 0.0
+	for _, lf := range g.Leaves() {
+		r := ranges[lf]
+		eff, ok := localEffSize(sz, r[0], r[1])
+		if !ok {
+			continue
+		}
+		if t := lf.LAN.Predict(lf.Size, eff); t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// FlatPartsV decomposes the flat-exchange prediction for the worst leaf
+// under a size matrix, mirroring FlatParts: `fixed` is the local LAN
+// term plus the γ-weighted inner-tier transfer terms, `startup` the
+// per-round WAN start-ups (only rounds that carry bytes in either
+// direction count — zero pairs send nothing), and `rootWan` the root
+// tier's transfer term. Each tier's transfer prices the actual cut:
+// per-flow curve limit at the cut's largest pair entry, aggregate wire
+// serialization at the cut's byte sum.
+func (g GridModel) FlatPartsV(sz coll.SizeMatrix) (fixed, startup, rootWan float64) {
+	g.checkMatrix(sz)
+	ranges := g.rankRanges()
+	worst := -1.0
+	var walk func(v *ModelNode, ancestors, childAt []*ModelNode)
+	walk = func(v *ModelNode, ancestors, childAt []*ModelNode) {
+		if !v.IsLeaf() {
+			for _, c := range v.Children {
+				walk(c, append(append([]*ModelNode(nil), ancestors...), v),
+					append(append([]*ModelNode(nil), childAt...), c))
+			}
+			return
+		}
+		lr := ranges[v]
+		clan := 0.0
+		if eff, ok := localEffSize(sz, lr[0], lr[1]); ok {
+			clan = v.LAN.Predict(v.Size, eff)
+		}
+		cfixed, cstart, croot := clan, 0.0, 0.0
+		for i, a := range ancestors {
+			c := childAt[i]
+			ar, cr := ranges[a], ranges[c]
+			// Start-ups: the leaf's worst rank pays one per peer that
+			// diverges at this tier and owes bytes in either direction.
+			rounds := 0
+			for r := lr[0]; r < lr[1]; r++ {
+				k := sz.NonzeroPairs(r, ar[0], cr[0]) + sz.NonzeroPairs(r, cr[1], ar[1])
+				if k > rounds {
+					rounds = k
+				}
+			}
+			cstart += float64(rounds) * a.Wan.Alpha()
+			cut, maxPair := outCut(sz, cr[0], cr[1], ar[0], ar[1])
+			if cut == 0 {
+				continue
+			}
+			perFlow := a.Wan.Transfer(maxPair)
+			wire := a.Wan.Alpha() + float64(cut)*a.Wan.BetaWire
+			t := perFlow
+			if wire > t {
+				t = wire
+			}
+			wan := t - a.Wan.Alpha()
+			if a == g.Root {
+				croot = wan
+			} else {
+				gamma := a.Wan.Gamma
+				if gamma < 1 {
+					gamma = 1
+				}
+				cfixed += wan * gamma
+			}
+		}
+		if t := cfixed + cstart + croot; t > worst {
+			worst, fixed, startup, rootWan = t, cfixed, cstart, croot
+		}
+	}
+	walk(g.Root, nil, nil)
+	return fixed, startup, rootWan
+}
+
+// PredictFlatV models the flat direct exchange of an irregular total
+// exchange: AlltoallV's zero-skipping rounds pay start-ups only where
+// bytes flow, and each tier's shared uplinks serialize the actual cut
+// volume inflated by the tier's fitted contention factor. Uniform
+// matrices delegate to PredictFlat bit-identically.
+func (g GridModel) PredictFlatV(sz coll.SizeMatrix) float64 {
+	g.checkMatrix(sz)
+	if m, ok := sz.Uniform(); ok {
+		return g.PredictFlat(m)
+	}
+	if g.TotalNodes() <= 1 {
+		return 0
+	}
+	fixed, startup, rootWan := g.FlatPartsV(sz)
+	gamma := 1.0
+	if !g.Root.IsLeaf() {
+		if gamma = g.Root.Wan.Gamma; gamma < 1 {
+			gamma = 1
+		}
+	}
+	return fixed + startup + rootWan*gamma
+}
+
+// exchangeAtV mirrors exchangeAt under a size matrix: the aggregated
+// coordinator exchange at group tier v, with each ordered child pair's
+// message priced at its actual rectangle sum, the per-flow curve limit
+// at the largest pair message, and the coordinator-port floor at the
+// child's actual outbound aggregate.
+func (g GridModel) exchangeAtV(v *ModelNode, sz coll.SizeMatrix, ranges map[*ModelNode][2]int) float64 {
+	worst := 0.0
+	for _, c := range v.Children {
+		cr := ranges[c]
+		maxPer, total := 0, 0
+		for _, d := range v.Children {
+			if d == c {
+				continue
+			}
+			dr := ranges[d]
+			b := sz.SumRect(cr[0], cr[1], dr[0], dr[1])
+			total += b
+			if b > maxPer {
+				maxPer = b
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		perFlow := v.Wan.Transfer(maxPer)
+		wire := v.Wan.Alpha() + float64(total)*v.Wan.BetaWire
+		t := perFlow
+		if wire > t {
+			t = wire
+		}
+		if c.IsLeaf() && c.CoordBeta > 0 {
+			port := v.Wan.Alpha() + float64(total)/float64(c.coordSplit())*c.CoordBeta
+			if port > t {
+				t = port
+			}
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// collectAtV mirrors collectAt under a size matrix: the incast of the
+// upward gather into tier v's coordinator (up == true, outbound cut of
+// each non-coordinator child) or the downward scatter from it (inbound
+// cut). Zero at the root, which has no outside.
+func (g GridModel) collectAtV(v *ModelNode, sz coll.SizeMatrix, ranges map[*ModelNode][2]int, up bool) float64 {
+	vr := ranges[v]
+	n := sz.NumRanks()
+	if vr[1]-vr[0] == n || len(v.Children) < 2 {
+		return 0
+	}
+	maxPer, total := 0, 0
+	for i, c := range v.Children {
+		if i == 0 {
+			continue // the first child hosts the tier coordinator
+		}
+		cr := ranges[c]
+		var b int
+		if up {
+			b = sz.SumRect(cr[0], cr[1], 0, vr[0]) + sz.SumRect(cr[0], cr[1], vr[1], n)
+		} else {
+			b = sz.SumRect(0, vr[0], cr[0], cr[1]) + sz.SumRect(vr[1], n, cr[0], cr[1])
+		}
+		total += b
+		if b > maxPer {
+			maxPer = b
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	perFlow := v.Wan.Transfer(maxPer)
+	wire := v.Wan.Alpha() + float64(total)*v.Wan.BetaWire
+	if wire > perFlow {
+		return wire
+	}
+	return perFlow
+}
+
+// tierLegsV mirrors tierLegs under a size matrix: per height, the worst
+// group's exchange plus upward gather; per depth, the worst group's
+// downward scatter.
+func (g GridModel) tierLegsV(sz coll.SizeMatrix, ranges map[*ModelNode][2]int) (xchg, scatter float64) {
+	byHeight := map[int]float64{}
+	byDepth := map[int]float64{}
+	var walk func(v *ModelNode, depth int)
+	walk = func(v *ModelNode, depth int) {
+		if v.IsLeaf() {
+			return
+		}
+		for _, c := range v.Children {
+			walk(c, depth+1)
+		}
+		if t := g.exchangeAtV(v, sz, ranges) + g.collectAtV(v, sz, ranges, true); t > byHeight[v.Height()] {
+			byHeight[v.Height()] = t
+		}
+		if down := g.collectAtV(v, sz, ranges, false); depth > 0 && down > byDepth[depth] {
+			byDepth[depth] = down
+		}
+	}
+	walk(g.Root, 0)
+	for _, t := range byHeight {
+		xchg += t
+	}
+	for _, t := range byDepth {
+		scatter += t
+	}
+	return xchg, scatter
+}
+
+// leafLegsV returns the worst leaf's gather and scatter legs under a
+// size matrix: s−1 local transfers into (out of) the coordinator set,
+// serialized over each member's actual remote-bound (remote-origin)
+// volume, split across the C coordinator ports. The coordinator's own
+// share never crosses the leaf's local links, so one member is
+// excluded — the model only receives NumCoords/CoordBeta, never which
+// rank a selection chose, so it excludes the member with the smallest
+// remote volume: the worst case over possible coordinator choices (a
+// hotspot member's fat rows are never priced away), reducing exactly
+// to the uniform (s−1)-member form. Measured coordinator headroom
+// (CoordBeta) replaces the nominal LAN gap when present, exactly as in
+// the uniform leafLocal.
+func (g GridModel) leafLegsV(sz coll.SizeMatrix, ranges map[*ModelNode][2]int) (gather, scatter float64) {
+	n := sz.NumRanks()
+	for _, lf := range g.Leaves() {
+		r := ranges[lf]
+		s := lf.Size
+		if s <= 1 || r[1]-r[0] == n {
+			continue
+		}
+		h := lf.LAN.H
+		beta := h.Beta
+		if lf.CoordBeta > 0 {
+			beta = lf.CoordBeta
+		}
+		c := float64(lf.coordSplit())
+		out, in := 0, 0
+		minOut, minIn := -1, -1
+		for i := r[0]; i < r[1]; i++ {
+			o := sz.RowSum(i, 0, r[0]) + sz.RowSum(i, r[1], n)
+			v := sz.ColSum(i, 0, r[0]) + sz.ColSum(i, r[1], n)
+			out += o
+			in += v
+			if minOut < 0 || o < minOut {
+				minOut = o
+			}
+			if minIn < 0 || v < minIn {
+				minIn = v
+			}
+		}
+		out -= minOut
+		in -= minIn
+		if out > 0 {
+			if t := float64(s-1)*h.Alpha + float64(out)*beta/c; t > gather {
+				gather = t
+			}
+		}
+		if in > 0 {
+			if t := float64(s-1)*h.Alpha + float64(in)*beta/c; t > scatter {
+				scatter = t
+			}
+		}
+	}
+	return gather, scatter
+}
+
+// HierGatherPartsV decomposes the sequential hierarchical algorithm
+// under a size matrix, mirroring HierGatherParts: the intra-cluster
+// exchange at each leaf's effective local size, the summed per-tier WAN
+// legs priced at the actual tier cuts, and the combined leaf
+// gather+scatter legs that GatherGamma multiplies.
+func (g GridModel) HierGatherPartsV(sz coll.SizeMatrix) (intra, xchg, local float64) {
+	g.checkMatrix(sz)
+	ranges := g.rankRanges()
+	tx, ts := g.tierLegsV(sz, ranges)
+	lg, ls := g.leafLegsV(sz, ranges)
+	return g.intraV(sz, ranges), tx + ts, lg + ls
+}
+
+// PredictHierGatherV models the sequential hierarchical algorithm for
+// an irregular exchange. Uniform matrices delegate to PredictHierGather
+// bit-identically.
+func (g GridModel) PredictHierGatherV(sz coll.SizeMatrix) float64 {
+	g.checkMatrix(sz)
+	if m, ok := sz.Uniform(); ok {
+		return g.PredictHierGather(m)
+	}
+	if g.TotalNodes() <= 1 {
+		return 0
+	}
+	kappa := g.GatherGamma
+	if kappa < 1 {
+		kappa = 1
+	}
+	intra, xchg, local := g.HierGatherPartsV(sz)
+	return intra + xchg + local*kappa
+}
+
+// HierDirectPartsV decomposes the overlapped algorithm under a size
+// matrix, mirroring HierDirectParts: the opening phase prices each leaf
+// as a local All-to-All at the worst member's full outbound volume
+// spread over its s−1 local partners, the relay's WAN exchange legs
+// (OverlapGamma's multiplicand) carry the actual tier cuts, and the
+// scatter legs (per-tier downward plus leaf-local) close the plan.
+func (g GridModel) HierDirectPartsV(sz coll.SizeMatrix) (phase0, xchg, scatter float64) {
+	g.checkMatrix(sz)
+	ranges := g.rankRanges()
+	n := sz.NumRanks()
+	for _, lf := range g.Leaves() {
+		s := lf.Size
+		if s <= 1 {
+			continue
+		}
+		r := ranges[lf]
+		worstRow := 0
+		for i := r[0]; i < r[1]; i++ {
+			if v := sz.RowSum(i, 0, n); v > worstRow {
+				worstRow = v
+			}
+		}
+		if worstRow == 0 {
+			continue
+		}
+		inflated := worstRow / (s - 1)
+		if t := lf.LAN.Predict(s, inflated); t > phase0 {
+			phase0 = t
+		}
+	}
+	tx, ts := g.tierLegsV(sz, ranges)
+	_, ls := g.leafLegsV(sz, ranges)
+	return phase0, tx, ts + ls
+}
+
+// PredictHierDirectV models the overlapped hierarchical algorithm for
+// an irregular exchange. Uniform matrices delegate to PredictHierDirect
+// bit-identically.
+func (g GridModel) PredictHierDirectV(sz coll.SizeMatrix) float64 {
+	g.checkMatrix(sz)
+	if m, ok := sz.Uniform(); ok {
+		return g.PredictHierDirect(m)
+	}
+	if g.TotalNodes() <= 1 {
+		return 0
+	}
+	omega := g.OverlapGamma
+	if omega < 1 {
+		omega = 1
+	}
+	phase0, xchg, scatter := g.HierDirectPartsV(sz)
+	return phase0 + xchg*omega + scatter
+}

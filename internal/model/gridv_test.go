@@ -1,0 +1,166 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/coll"
+)
+
+// relClose reports |a−b| ≤ tol·max(|a|,|b|, 1).
+func relClose(a, b, tol float64) bool {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(a-b) <= tol*scale
+}
+
+// TestGridVUniformBitEqual pins the fast path the acceptance criteria
+// demand: fed a uniform matrix, every v-prediction must be bit-equal to
+// the existing closed-form predictor at m — on two-level and 3-level
+// fixtures, with non-trivial contention factors and coordinator splits.
+func TestGridVUniformBitEqual(t *testing.T) {
+	mk := func(name string, g GridModel) (string, GridModel) {
+		g.OverlapGamma = 2.5
+		g.GatherGamma = 1.5
+		return name, g
+	}
+	fixtures := map[string]GridModel{}
+	for _, f := range []func() (string, GridModel){
+		func() (string, GridModel) { return mk("2lvl", gridModelFixture()) },
+		func() (string, GridModel) { return mk("3lvl", threeLevelFixture()) },
+		func() (string, GridModel) {
+			name, g := mk("2lvl-split", gridModelFixture())
+			g.Leaves()[0].NumCoords = 2
+			g.Leaves()[0].CoordBeta = 3e-8
+			return name, g
+		},
+	} {
+		name, g := f()
+		fixtures[name] = g
+	}
+	for name, g := range fixtures {
+		n := g.TotalNodes()
+		for _, m := range []int{4 << 10, 64 << 10, 512 << 10} {
+			sz := coll.UniformSizeMatrix(n, m)
+			if got, want := g.PredictFlatV(sz), g.PredictFlat(m); got != want {
+				t.Fatalf("%s m=%d: PredictFlatV = %v, want bit-equal %v", name, m, got, want)
+			}
+			if got, want := g.PredictHierGatherV(sz), g.PredictHierGather(m); got != want {
+				t.Fatalf("%s m=%d: PredictHierGatherV = %v, want bit-equal %v", name, m, got, want)
+			}
+			if got, want := g.PredictHierDirectV(sz), g.PredictHierDirect(m); got != want {
+				t.Fatalf("%s m=%d: PredictHierDirectV = %v, want bit-equal %v", name, m, got, want)
+			}
+		}
+	}
+}
+
+// TestGridVPartsUniformReduction checks the general v-legs (not the
+// fast path): fed a uniform matrix, each decomposition must reproduce
+// the uniform decomposition — the cut sums collapse to the n·m count
+// terms — to floating-point re-association tolerance.
+func TestGridVPartsUniformReduction(t *testing.T) {
+	const tol = 1e-12
+	for name, g := range map[string]GridModel{"2lvl": gridModelFixture(), "3lvl": threeLevelFixture()} {
+		n := g.TotalNodes()
+		for _, m := range []int{8 << 10, 64 << 10, 512 << 10} {
+			sz := coll.UniformSizeMatrix(n, m)
+
+			f1, s1, r1 := g.FlatParts(m)
+			f2, s2, r2 := g.FlatPartsV(sz)
+			if !relClose(f1, f2, tol) || !relClose(s1, s2, tol) || !relClose(r1, r2, tol) {
+				t.Fatalf("%s m=%d: FlatPartsV = (%v,%v,%v), want uniform (%v,%v,%v)",
+					name, m, f2, s2, r2, f1, s1, r1)
+			}
+
+			i1, x1, l1 := g.HierGatherParts(m)
+			i2, x2, l2 := g.HierGatherPartsV(sz)
+			if !relClose(i1, i2, tol) || !relClose(x1, x2, tol) || !relClose(l1, l2, tol) {
+				t.Fatalf("%s m=%d: HierGatherPartsV = (%v,%v,%v), want uniform (%v,%v,%v)",
+					name, m, i2, x2, l2, i1, x1, l1)
+			}
+
+			p1, hx1, sc1 := g.HierDirectParts(m)
+			p2, hx2, sc2 := g.HierDirectPartsV(sz)
+			if !relClose(p1, p2, tol) || !relClose(hx1, hx2, tol) || !relClose(sc1, sc2, tol) {
+				t.Fatalf("%s m=%d: HierDirectPartsV = (%v,%v,%v), want uniform (%v,%v,%v)",
+					name, m, p2, hx2, sc2, p1, hx1, sc1)
+			}
+		}
+	}
+}
+
+// TestGridVSkewShiftsLegs: a hotspot row adds bytes to exactly the legs
+// that carry it — predictions rise above the uniform base — while a
+// block-diagonal matrix with zero cross-cluster traffic collapses every
+// WAN leg to zero and leaves only local terms.
+func TestGridVSkewShiftsLegs(t *testing.T) {
+	g := gridModelFixture() // 4+4 nodes, one WAN tier
+	n := g.TotalNodes()
+	const m = 64 << 10
+
+	base := coll.UniformSizeMatrix(n, m)
+	hot := coll.UniformSizeMatrix(n, m)
+	for j := 1; j < n; j++ {
+		hot.Set(0, j, 8*m)
+	}
+	if g.PredictFlatV(hot) <= g.PredictFlatV(base) {
+		t.Fatal("hotspot row must raise the flat prediction")
+	}
+	if g.PredictHierGatherV(hot) <= g.PredictHierGatherV(base) {
+		t.Fatal("hotspot row must raise the hier-gather prediction")
+	}
+	if g.PredictHierDirectV(hot) <= g.PredictHierDirectV(base) {
+		t.Fatal("hotspot row must raise the hier-direct prediction")
+	}
+
+	// The hotspot sits in cluster 0: its outbound cut grows 8-fold, the
+	// reverse direction keeps the uniform cut. The worst-child exchange
+	// leg must price the grown cut exactly.
+	_, xchg, _ := g.HierGatherPartsV(hot)
+	wantCut := 8*m*4 + 3*4*m // rank 0's 4 remote pairs at 8m, ranks 1–3 at m each
+	perFlow := g.Root.Wan.Transfer(wantCut)
+	wire := g.Root.Wan.Alpha() + float64(wantCut)*g.Root.Wan.BetaWire
+	want := perFlow
+	if wire > want {
+		want = wire
+	}
+	// Exchange leg includes the upward-gather incast (zero here: the
+	// root has no outside), so the worst-child exchange is the whole leg.
+	if math.Abs(xchg-want) > 1e-12*want {
+		t.Fatalf("hotspot exchange leg = %v, want cut-priced %v", xchg, want)
+	}
+
+	local := coll.NewSizeMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && (i < 4) == (j < 4) {
+				local.Set(i, j, m)
+			}
+		}
+	}
+	intra, xchg0, legs := g.HierGatherPartsV(local)
+	if xchg0 != 0 || legs != 0 {
+		t.Fatalf("zero cross-traffic: WAN and leaf relay legs = %v/%v, want 0/0", xchg0, legs)
+	}
+	if intra <= 0 {
+		t.Fatal("zero cross-traffic: intra leg must still price the local exchange")
+	}
+	if f := g.PredictFlatV(local); math.Abs(f-intra) > 1e-12*intra {
+		t.Fatalf("zero cross-traffic flat = %v, want pure local term %v", f, intra)
+	}
+}
+
+// TestGridVMatrixValidation: a matrix of the wrong rank count must be
+// rejected loudly, not silently mispriced.
+func TestGridVMatrixValidation(t *testing.T) {
+	g := gridModelFixture()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on rank-count mismatch")
+		}
+	}()
+	g.PredictFlatV(coll.UniformSizeMatrix(3, 1024))
+}
