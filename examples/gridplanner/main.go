@@ -167,11 +167,20 @@ func main() {
 	})
 	fmt.Printf("one simulated exchange at %d B per pair: %.2fs\n", msgSize, measSel.Mean())
 
+	// The contention factors behind those predictions are size-indexed
+	// curves, fitted at Options.ProbeSizes (default 8/64/256 KiB) and
+	// interpolated in log-size between the fits (docs/MODEL.md §8) —
+	// a 48 kB exchange is not priced with a 256 kB probe's factor.
+	fmt.Printf("\n%s fitted factor curves: γ_wan(root)=[%s] ω=[%s] κ=[%s]\n",
+		threeLvl.Name, threePlanner.Model.Root.Wan.Gamma,
+		threePlanner.Model.OverlapGamma, threePlanner.Model.GatherGamma)
+
 	// Irregular workloads: the same characterization ranks strategies
 	// per size matrix (All-to-Allv). Here the 3-level deployment runs a
 	// hotspot workload — rank 0 fans out 4× bulk to every peer — and the
 	// planner prices each tier's WAN leg by the matrix's actual
-	// cross-subtree byte cuts instead of n·m (docs/MODEL.md §7).
+	// cross-subtree byte cuts (each factor curve looked up at the legs'
+	// effective per-flow sizes) instead of n·m (docs/MODEL.md §7–§8).
 	hotspot := coll.SizeMatrixFromRows(cluster.HotspotRowBytes(threeLvl, msgSize, 0, 4))
 	fmt.Printf("\nAll-to-Allv on %s (hotspot-row: rank 0 sends 4×%d B per pair):\n",
 		threeLvl.Name, msgSize)

@@ -151,6 +151,23 @@ func (sz SizeMatrix) MaxRect(srcLo, srcHi, dstLo, dstHi int) int {
 	return m
 }
 
+// CountRect returns the number of nonzero entries of the rectangle
+// srcs [srcLo, srcHi) × dsts [dstLo, dstHi) — the flow count a
+// cross-subtree cut spreads its bytes over, which the grid model's
+// factor-curve lookups divide the cut sum by for an effective per-flow
+// size.
+func (sz SizeMatrix) CountRect(srcLo, srcHi, dstLo, dstHi int) int {
+	c := 0
+	for i := srcLo; i < srcHi; i++ {
+		for j := dstLo; j < dstHi; j++ {
+			if sz.bytes[i*sz.n+j] > 0 {
+				c++
+			}
+		}
+	}
+	return c
+}
+
 // NonzeroPairs reports how many (src, dst) pairs of the rectangle carry
 // any bytes in either direction — the rounds a direct exchange actually
 // pays start-ups for.

@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"AB1", "AB2", "AB3",
 		"EX1", "EX2", "EX3",
 		"F02", "F03", "F04", "F05", "F06", "F07", "F08",
-		"F09", "F10", "F11", "F12", "F13", "F14", "GR1", "GR2", "GR3", "GR4", "TA",
+		"F09", "F10", "F11", "F12", "F13", "F14", "GR1", "GR2", "GR3", "GR4", "GR5", "TA",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -104,7 +104,7 @@ func TestFitExperimentRuns(t *testing.T) {
 }
 
 func TestGridExperimentRuns(t *testing.T) {
-	for id, wantNote := range map[string]string{"GR1": "WAN", "GR2": "tier", "GR3": "coordinator", "GR4": "patterns"} {
+	for id, wantNote := range map[string]string{"GR1": "WAN", "GR2": "tier", "GR3": "coordinator", "GR4": "patterns", "GR5": "scalar"} {
 		e, err := ByID(id)
 		if err != nil {
 			t.Fatal(err)
@@ -120,7 +120,7 @@ func TestGridExperimentRuns(t *testing.T) {
 		predCol, simCol := -1, -1
 		for i, c := range s.Cols {
 			switch c {
-			case "predicted_s":
+			case "predicted_s", "pred_curve_s":
 				predCol = i
 			case "simulated_s":
 				simCol = i

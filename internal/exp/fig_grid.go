@@ -38,7 +38,7 @@ func init() {
 				res.Note("planner characterization failed: %v", err)
 				return res
 			}
-			res.Note("WAN: α=%.1fms β_steady=%.3gs/B γ_wan=%.2f ω=%.2f κ=%.2f",
+			res.Note("WAN: α=%.1fms β_steady=%.3gs/B γ_wan=[%s] ω=[%s] κ=[%s]",
 				pl.Model.Root.Wan.Alpha()*1e3, pl.Model.Root.Wan.BetaSteady(),
 				pl.Model.Root.Wan.Gamma, pl.Model.OverlapGamma, pl.Model.GatherGamma)
 			// Both clusters share one profile, so one signature line.

@@ -42,12 +42,12 @@ func init() {
 				return res
 			}
 			root := pl.Model.Root
-			res.Note("continental tier: α=%.1fms β_steady=%.3gs/B γ_wan=%.2f",
+			res.Note("continental tier: α=%.1fms β_steady=%.3gs/B γ_wan=[%s]",
 				root.Wan.Alpha()*1e3, root.Wan.BetaSteady(), root.Wan.Gamma)
-			res.Note("campus tier:      α=%.1fms β_steady=%.3gs/B γ_wan=%.2f",
+			res.Note("campus tier:      α=%.1fms β_steady=%.3gs/B γ_wan=[%s]",
 				root.Children[0].Wan.Alpha()*1e3, root.Children[0].Wan.BetaSteady(),
 				root.Children[0].Wan.Gamma)
-			res.Note("strategy factors: ω=%.2f κ=%.2f", pl.Model.OverlapGamma, pl.Model.GatherGamma)
+			res.Note("strategy factors: ω=[%s] κ=[%s]", pl.Model.OverlapGamma, pl.Model.GatherGamma)
 			// All campuses share one profile, so one signature line.
 			res.Note("cluster signature: %s", pl.Model.Leaves()[0].LAN)
 

@@ -56,7 +56,7 @@ func init() {
 					res.Note("%s: planner characterization failed: %v", tc.name, err)
 					continue
 				}
-				res.Note("%s: γ_wan(root)=%.2f ω=%.2f κ=%.2f", tc.name,
+				res.Note("%s: γ_wan(root)=[%s] ω=[%s] κ=[%s]", tc.name,
 					pl.Model.Root.Wan.Gamma, pl.Model.OverlapGamma, pl.Model.GatherGamma)
 
 				workloads := cluster.SkewedWorkloads(tc.topo)

@@ -2,6 +2,7 @@ package grid
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/cluster"
@@ -108,6 +109,41 @@ func probeHeadroom(p cluster.Profile, nodes int, opt Options) []float64 {
 	return rates
 }
 
+// safeHeadroom returns leaf l's probed per-node rates with every
+// unusable entry — zero (all of a node's probe pair times unmeasured,
+// or a 1-node leaf whose profile declares NodeRate 0), negative, or
+// non-finite — replaced by the profile's nominal access rate. A node
+// whose nominal rate is itself non-positive keeps 0, and betaOf maps it
+// to the model's "no headroom data" default rather than dividing by it:
+// selection must never emit a non-finite CoordBeta
+// (model.ModelNode.CoordBeta poisons every subsequent prediction
+// otherwise).
+func (pl *Planner) safeHeadroom(l int) []float64 {
+	probed := pl.Headroom[l]
+	p := pl.Topo.Leaves()[l].Profile
+	out := make([]float64, len(probed))
+	for i, r := range probed {
+		if r > 0 && !math.IsInf(r, 0) {
+			out[i] = r
+			continue
+		}
+		if nominal := float64(p.NodeRate(i)); nominal > 0 {
+			out[i] = nominal
+		}
+	}
+	return out
+}
+
+// betaOf converts a probed NIC rate to the model's per-byte gap,
+// mapping unusable rates to 0 — the model's documented "no headroom
+// data" fallback — instead of a poisonous +Inf.
+func betaOf(rate float64) float64 {
+	if rate <= 0 || math.IsInf(rate, 0) {
+		return 0
+	}
+	return 1 / rate
+}
+
 // CoordChoice is one leaf's coordinator selection.
 type CoordChoice struct {
 	// Leaf is the leaf index in tree order.
@@ -119,7 +155,9 @@ type CoordChoice struct {
 	// Ranks are the same coordinators as global MPI ranks of a grid
 	// built from the planner's topology (contiguous leaf blocks).
 	Ranks []int
-	// Rate is the slowest chosen coordinator's probed NIC rate (B/s).
+	// Rate is the slowest chosen coordinator's probed NIC rate in B/s
+	// (the profile's nominal rate where the probe came back unusable —
+	// see safeHeadroom).
 	Rate float64
 	// Default reports that the lowest-rank single-coordinator default
 	// was kept; the model is left untouched for this leaf.
@@ -218,25 +256,33 @@ func (pl *Planner) selectCoordinators(hierBest func() float64) ([]CoordChoice, e
 		base += lf.Nodes
 	}
 
+	// Sanitized headroom: probed rates with unusable entries (zero
+	// probes, non-finite noise) replaced by nominal profile rates, so
+	// no candidate pricing below can divide by zero.
+	safe := make([][]float64, len(leaves))
+	for l := range leaves {
+		safe[l] = pl.safeHeadroom(l)
+	}
+
 	// Provisional pricing: while candidates are compared, every
 	// undecided leaf is priced at its best-headroom single port. The
 	// hierarchical legs take the worst leaf, so leaving other leaves at
 	// their pessimistic nominal pricing would mask this leaf's
 	// improvement behind their max.
 	for l, lf := range leaves {
-		rates := pl.Headroom[l]
+		rates := safe[l]
 		bi := 0
 		for i, r := range rates {
 			if r > rates[bi] {
 				bi = i
 			}
 		}
-		lf.NumCoords, lf.CoordBeta = 1, 1/rates[bi]
+		lf.NumCoords, lf.CoordBeta = 1, betaOf(rates[bi])
 	}
 
 	out := make([]CoordChoice, 0, len(leaves))
 	for l, lf := range leaves {
-		rates := pl.Headroom[l]
+		rates := safe[l]
 		s := lf.Size
 
 		// Nodes ranked by measured headroom, ties broken toward lower
@@ -258,7 +304,7 @@ func (pl *Planner) selectCoordinators(hierBest func() float64) ([]CoordChoice, e
 		}
 		evaluate := func(nodes []int) float64 {
 			lf.NumCoords = len(nodes)
-			lf.CoordBeta = 1 / minRate(nodes)
+			lf.CoordBeta = betaOf(minRate(nodes))
 			return hierBest()
 		}
 
@@ -292,7 +338,7 @@ func (pl *Planner) selectCoordinators(hierBest func() float64) ([]CoordChoice, e
 			choice.Rate = rates[0]
 			// Decided: price the true default port for the remaining
 			// leaves' comparisons; zeroed below once all are decided.
-			lf.NumCoords, lf.CoordBeta = 1, 1/rates[0]
+			lf.NumCoords, lf.CoordBeta = 1, betaOf(rates[0])
 		} else {
 			choice.Local = bestNodes
 			choice.Rate = minRate(bestNodes)
@@ -300,7 +346,7 @@ func (pl *Planner) selectCoordinators(hierBest func() float64) ([]CoordChoice, e
 				choice.Ranks = append(choice.Ranks, bases[l]+i)
 			}
 			lf.NumCoords = len(bestNodes)
-			lf.CoordBeta = 1 / choice.Rate
+			lf.CoordBeta = betaOf(choice.Rate)
 		}
 		out = append(out, choice)
 	}
@@ -409,11 +455,13 @@ func (pl *Planner) PlanSpec() coll.TreeSpec {
 }
 
 // refitStrategyFactors re-runs the capped hierarchical probes with the
-// selected coordinators applied and re-inverts the strategy factors ω
-// and κ: they summarize the residual loss-recovery inflation of the
-// plan that actually runs, and a selection that moves the relay off a
-// degraded port (or splits it) changes that plan materially — factors
-// fitted against the lowest-rank default would misprice it.
+// selected coordinators applied and re-inverts the full strategy
+// factor curves ω and κ — one point per probe size, exactly as the
+// initial fit: the factors summarize the residual loss-recovery
+// inflation of the plan that actually runs, and a selection that moves
+// the relay off a degraded port (or splits it) changes that plan
+// materially — curves fitted against the lowest-rank default would
+// misprice it.
 func (pl *Planner) refitStrategyFactors(choices []CoordChoice) error {
 	capN := pl.opt.ProbeCap
 	probeTopo := cappedTree(pl.Topo, capN)
@@ -441,7 +489,7 @@ func (pl *Planner) refitStrategyFactors(choices []CoordChoice) error {
 		if capped[l].Default {
 			continue
 		}
-		rates := pl.Headroom[l]
+		rates := pl.safeHeadroom(l)
 		mr := rates[capped[l].Local[0]]
 		for _, i := range capped[l].Local[1:] {
 			if rates[i] < mr {
@@ -449,30 +497,39 @@ func (pl *Planner) refitStrategyFactors(choices []CoordChoice) error {
 			}
 		}
 		lf.NumCoords = len(capped[l].Local)
-		lf.CoordBeta = 1 / mr
+		lf.CoordBeta = betaOf(mr)
 	}
 	probeModel := model.GridModel{Root: probeRoot}
 	spec := specFor(probeTopo, capped)
 
-	omega := 1.0
-	simHD, err := SimulateSpec(probeTopo, spec, coll.HierDirect, pl.opt.ProbeSize, pl.opt.Seed+71, 1, pl.opt.Reps)
-	if err != nil {
-		return err
-	}
-	if phase0, xchg, scatter := probeModel.HierDirectParts(pl.opt.ProbeSize); xchg > 0 {
-		omega = clampGamma((simHD - phase0 - scatter) / xchg)
-	}
+	var omegaPts, kappaPts []model.FactorPoint
+	for _, p := range pl.opt.ProbeSizes {
+		simHD, err := probeTypical(pl.opt.Seed+71, func(sd int64) (float64, error) {
+			return SimulateSpec(probeTopo, spec, coll.HierDirect, p, sd, 1, pl.opt.Reps)
+		})
+		if err != nil {
+			return err
+		}
+		o := 1.0
+		if phase0, xchg, scatter := probeModel.HierDirectParts(p); xchg > 0 {
+			o = clampGamma((simHD - phase0 - scatter) / xchg)
+		}
+		omegaPts = append(omegaPts, model.FactorPoint{Bytes: p, Factor: o})
 
-	kappa := 1.0
-	simHG, err := SimulateSpec(probeTopo, spec, coll.HierGather, pl.opt.ProbeSize, pl.opt.Seed+89, 1, pl.opt.Reps)
-	if err != nil {
-		return err
+		simHG, err := probeTypical(pl.opt.Seed+89, func(sd int64) (float64, error) {
+			return SimulateSpec(probeTopo, spec, coll.HierGather, p, sd, 1, pl.opt.Reps)
+		})
+		if err != nil {
+			return err
+		}
+		k := 1.0
+		if intra, xchg, local := probeModel.HierGatherParts(p); local > 0 {
+			k = clampGamma((simHG - intra - xchg) / local)
+		}
+		kappaPts = append(kappaPts, model.FactorPoint{Bytes: p, Factor: k})
 	}
-	if intra, xchg, local := probeModel.HierGatherParts(pl.opt.ProbeSize); local > 0 {
-		kappa = clampGamma((simHG - intra - xchg) / local)
-	}
-	pl.Model.OverlapGamma = omega
-	pl.Model.GatherGamma = kappa
+	pl.Model.OverlapGamma = model.CurveOf(omegaPts...)
+	pl.Model.GatherGamma = model.CurveOf(kappaPts...)
 	return nil
 }
 

@@ -73,13 +73,28 @@ type Options struct {
 	// signature is fitted (default 8).
 	FitN int
 	// FitSizes is the message sweep of the fit (default 16k..512k, 5
-	// points; at least 4 are required).
+	// points; at least 4 distinct positive sizes are required).
 	FitSizes []int
 	// WANSizes is the transfer sweep of the per-tier WAN ping-pong
-	// curves (default 2k..1M, 5 points).
+	// curves (default 2k..1M, 5 points; at least 2 distinct positive
+	// sizes are required — duplicates are deduplicated, never measured
+	// into zero-width curve segments).
 	WANSizes []int
-	// ProbeSize is the per-pair message size of the probes that fit the
-	// contention factors (default 64 KiB).
+	// ProbeSizes are the per-pair message sizes the contention-factor
+	// probes fit each factor curve at (default 8 KiB / 64 KiB /
+	// 256 KiB). Every distinct size contributes one fitted point per
+	// factor (γ_wan per tier, ω, κ); a single size yields single-point
+	// curves — the scalar-factor model, whose lookups are
+	// size-independent and pinned bit-identical to the pre-curve
+	// predictions at the model level (the fitted values themselves come
+	// from the median-of-three-seeds probes below, not the pre-curve
+	// single-seed probe). Every probe runs over three seeds and fits
+	// the median run, stabilizing the fits — and with them the
+	// flat-vs-hier crossover — against heavy-tailed loss-recovery
+	// draws (see probeTypical).
+	ProbeSizes []int
+	// ProbeSize is the per-pair message size of the per-node headroom
+	// ping-pongs (default 64 KiB; the probe transfers 4× this).
 	ProbeSize int
 	// ProbeCap caps per-cluster node counts in probe grids (default 4):
 	// large enough that uplink sharing and LAN/WAN overlap interference
@@ -104,6 +119,9 @@ func (o Options) withDefaults() Options {
 	if len(o.WANSizes) == 0 {
 		o.WANSizes = []int{2 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
 	}
+	if len(o.ProbeSizes) == 0 {
+		o.ProbeSizes = []int{8 << 10, 64 << 10, 256 << 10}
+	}
 	if o.ProbeSize == 0 {
 		o.ProbeSize = 64 << 10
 	}
@@ -119,7 +137,64 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	o.FitSizes = sortedDistinct(o.FitSizes)
+	o.WANSizes = sortedDistinct(o.WANSizes)
+	o.ProbeSizes = sortedDistinct(o.ProbeSizes)
 	return o
+}
+
+// sortedDistinct returns a sorted copy of sizes with duplicates
+// removed; the caller's slice is never mutated. Non-positive entries
+// are kept (leftmost after sorting) so validation can reject them.
+func sortedDistinct(sizes []int) []int {
+	out := append([]int(nil), sizes...)
+	sort.Ints(out)
+	kept := out[:0]
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			kept = append(kept, v)
+		}
+	}
+	return kept
+}
+
+// validate rejects probe/fit sweeps a characterization cannot use:
+// non-positive sizes, too few distinct points (a WAN curve needs ≥ 2
+// to interpolate — equal-size points would make Transfer's segments
+// zero-width — and the signature fit needs ≥ 4 samples for its four
+// parameters). Called by NewPlanner after defaults are applied, so a
+// zero Options always passes.
+func (o Options) validate() error {
+	for _, c := range []struct {
+		name     string
+		sizes    []int
+		distinct int
+	}{
+		{"FitSizes", o.FitSizes, 4},
+		{"WANSizes", o.WANSizes, 2},
+		{"ProbeSizes", o.ProbeSizes, 1},
+	} {
+		if len(c.sizes) > 0 && c.sizes[0] <= 0 {
+			return fmt.Errorf("grid: %s contains non-positive size %d", c.name, c.sizes[0])
+		}
+		if len(c.sizes) < c.distinct {
+			return fmt.Errorf("grid: %s has %d distinct size(s), need at least %d",
+				c.name, len(c.sizes), c.distinct)
+		}
+	}
+	if o.ProbeSize <= 0 {
+		return fmt.Errorf("grid: ProbeSize %d is not positive", o.ProbeSize)
+	}
+	return nil
+}
+
+// probeSeeds returns the seeds a contention-factor probe runs over
+// (probeTypical keeps the median): three at every size — lossy-TCP
+// WAN completion is seed-sensitive everywhere, worst in the RTO-noisy
+// small bracket (≤ 32 KiB, docs/MODEL.md §6), and a median needs an
+// odd sample.
+func probeSeeds(base int64) []int64 {
+	return []int64{base, base + 97, base + 193}
 }
 
 // Planner predicts and ranks grid All-to-All strategies.
@@ -148,6 +223,9 @@ type Planner struct {
 // subtrees during contention-factor fitting.
 func NewPlanner(topo cluster.TopoNode, opt Options) (*Planner, error) {
 	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
 	if err := topo.Validate(); err != nil {
 		return nil, err
 	}
@@ -241,9 +319,10 @@ func NewPlanner(topo cluster.TopoNode, opt Options) (*Planner, error) {
 		return nil, err
 	}
 
-	// Contention factors: per-tier γ_wan from flat probes, innermost
-	// tiers first, then the strategy factors ω and κ on the whole tree.
-	fitted := map[string]float64{}
+	// Contention-factor curves: per-tier γ_wan from flat probes at every
+	// probe size, innermost tiers first, then the strategy factors ω
+	// and κ on the whole tree.
+	fitted := map[string]model.FactorCurve{}
 	if err := fitTierGammas(topo, root, fitted, opt); err != nil {
 		return nil, err
 	}
@@ -308,8 +387,11 @@ func characterizeTier(full cluster.TopoNode, node cluster.TopoNode, a, b int, op
 	if err != nil {
 		return model.WANModel{}, err
 	}
-	sizes := append([]int(nil), opt.WANSizes...)
-	sort.Ints(sizes)
+	// Sort and deduplicate defensively (validate already rejects sweeps
+	// with < 2 distinct sizes): duplicate sizes would measure curve
+	// points with equal Bytes, whose zero-width segments Transfer can
+	// only skip, not interpolate.
+	sizes := sortedDistinct(opt.WANSizes)
 	times := make(map[int][]float64, len(sizes))
 	w := mpi.NewWorld(g.Env, mpi.Config{})
 	w.Run(func(r *mpi.Rank) {
@@ -351,7 +433,7 @@ func characterizeTier(full cluster.TopoNode, node cluster.TopoNode, a, b int, op
 		// The serialization floor uses the tier's own subtree profile:
 		// framing overhead may differ between branches of a mixed grid.
 		BetaWire: wireGap(node.Leaves()[0].Profile, node.WAN.Rate),
-		Gamma:    1,
+		// Gamma stays the identity curve until fitTierGammas fits it.
 	}, nil
 }
 
@@ -466,13 +548,36 @@ func clampGamma(v float64) float64 {
 	return v
 }
 
-// fitTierGammas fits every tier's flat-exchange contention factor
-// γ_wan, innermost tiers first: each tier is probed with a capped flat
-// exchange on its own subtree, and the model decomposition — whose
-// inner tiers already carry their fitted factors — is inverted for the
-// tier's residual inflation. Structurally identical subtrees share one
-// fit through the cache.
-func fitTierGammas(topo cluster.TopoNode, mod *model.ModelNode, cache map[string]float64, opt Options) error {
+// probeTypical runs one probe simulation (the closure) once per
+// probeSeeds seed and keeps the median run. Completion times on lossy
+// WANs are heavy-tailed upward — a single retransmission timeout adds
+// whole RTO periods — so a mean bakes one seed's tail draw into every
+// prediction, while a minimum discards the systematic loss recovery
+// the factors exist to price (an incast's "lucky" run dodges the very
+// losses κ summarizes). The median is robust against both. Both the
+// initial fits (Simulate) and the post-selection refits (SimulateSpec,
+// internal/grid/coords.go) share this one harness, so the statistic
+// and seed set cannot drift apart.
+func probeTypical(baseSeed int64, run func(seed int64) (float64, error)) (float64, error) {
+	times := make([]float64, 0, 3)
+	for _, sd := range probeSeeds(baseSeed) {
+		one, err := run(sd)
+		if err != nil {
+			return 0, err
+		}
+		times = append(times, one)
+	}
+	sort.Float64s(times)
+	return times[len(times)/2], nil
+}
+
+// fitTierGammas fits every tier's flat-exchange contention-factor
+// curve γ_wan, innermost tiers first: each tier is probed with capped
+// flat exchanges at every probe size, and the model decomposition —
+// whose inner tiers already carry their fitted curves — is inverted
+// for the tier's residual inflation per size. Structurally identical
+// subtrees share one fit through the cache.
+func fitTierGammas(topo cluster.TopoNode, mod *model.ModelNode, cache map[string]model.FactorCurve, opt Options) error {
 	if topo.IsLeaf() {
 		return nil
 	}
@@ -488,49 +593,66 @@ func fitTierGammas(topo cluster.TopoNode, mod *model.ModelNode, cache map[string
 		return nil
 	}
 	probeModel := model.GridModel{Root: cappedModel(mod, opt.ProbeCap)}
-	sim, err := Simulate(probeTopo, FlatDirect, opt.ProbeSize, opt.Seed+53, 1, opt.Reps)
-	if err != nil {
-		return err
+	points := make([]model.FactorPoint, 0, len(opt.ProbeSizes))
+	for _, p := range opt.ProbeSizes {
+		sim, err := probeTypical(opt.Seed+53, func(sd int64) (float64, error) {
+			return Simulate(probeTopo, FlatDirect, p, sd, 1, opt.Reps)
+		})
+		if err != nil {
+			return err
+		}
+		gamma := 1.0
+		if fixed, startup, rootWan := probeModel.FlatParts(p); rootWan > 0 {
+			gamma = clampGamma((sim - fixed - startup) / rootWan)
+		}
+		points = append(points, model.FactorPoint{Bytes: p, Factor: gamma})
 	}
-	gamma := 1.0
-	if fixed, startup, rootWan := probeModel.FlatParts(opt.ProbeSize); rootWan > 0 {
-		gamma = clampGamma((sim - fixed - startup) / rootWan)
-	}
-	mod.Wan.Gamma = gamma
-	cache[key] = gamma
+	curve := model.CurveOf(points...)
+	mod.Wan.Gamma = curve
+	cache[key] = curve
 	return nil
 }
 
-// fitStrategyFactors runs the two hierarchical strategies once on a
-// capped probe grid and inverts the model decompositions for the
-// factors the analytics cannot supply — the grid analogue of fitting γ
-// at a modest n′ and extrapolating:
+// fitStrategyFactors runs the two hierarchical strategies on a capped
+// probe grid at every probe size and inverts the model decompositions
+// for the factor curves the analytics cannot supply — the grid
+// analogue of fitting γ at a modest n′ and extrapolating, extended
+// along the size axis:
 //
 //	ω  hier-direct: WAN-leg inflation from overlapped LAN traffic
 //	κ  hier-gather: coordinator-incast inflation of the synchronized
 //	   gather/scatter phases
-func fitStrategyFactors(topo cluster.TopoNode, gm model.GridModel, opt Options) (omega, kappa float64, err error) {
+func fitStrategyFactors(topo cluster.TopoNode, gm model.GridModel, opt Options) (omega, kappa model.FactorCurve, err error) {
 	probeTopo := cappedTree(topo, opt.ProbeCap)
 	probeModel := model.GridModel{Root: cappedModel(gm.Root, opt.ProbeCap)}
 
-	omega = 1
-	simHD, err := Simulate(probeTopo, HierDirect, opt.ProbeSize, opt.Seed+71, 1, opt.Reps)
-	if err != nil {
-		return 0, 0, err
-	}
-	if phase0, xchg, scatter := probeModel.HierDirectParts(opt.ProbeSize); xchg > 0 {
-		omega = clampGamma((simHD - phase0 - scatter) / xchg)
-	}
+	var omegaPts, kappaPts []model.FactorPoint
+	for _, p := range opt.ProbeSizes {
+		simHD, err := probeTypical(opt.Seed+71, func(sd int64) (float64, error) {
+			return Simulate(probeTopo, HierDirect, p, sd, 1, opt.Reps)
+		})
+		if err != nil {
+			return model.FactorCurve{}, model.FactorCurve{}, err
+		}
+		o := 1.0
+		if phase0, xchg, scatter := probeModel.HierDirectParts(p); xchg > 0 {
+			o = clampGamma((simHD - phase0 - scatter) / xchg)
+		}
+		omegaPts = append(omegaPts, model.FactorPoint{Bytes: p, Factor: o})
 
-	kappa = 1
-	simHG, err := Simulate(probeTopo, HierGather, opt.ProbeSize, opt.Seed+89, 1, opt.Reps)
-	if err != nil {
-		return 0, 0, err
+		simHG, err := probeTypical(opt.Seed+89, func(sd int64) (float64, error) {
+			return Simulate(probeTopo, HierGather, p, sd, 1, opt.Reps)
+		})
+		if err != nil {
+			return model.FactorCurve{}, model.FactorCurve{}, err
+		}
+		k := 1.0
+		if intra, xchg, local := probeModel.HierGatherParts(p); local > 0 {
+			k = clampGamma((simHG - intra - xchg) / local)
+		}
+		kappaPts = append(kappaPts, model.FactorPoint{Bytes: p, Factor: k})
 	}
-	if intra, xchg, local := probeModel.HierGatherParts(opt.ProbeSize); local > 0 {
-		kappa = clampGamma((simHG - intra - xchg) / local)
-	}
-	return omega, kappa, nil
+	return model.CurveOf(omegaPts...), model.CurveOf(kappaPts...), nil
 }
 
 // Prediction is one strategy's predicted completion time.

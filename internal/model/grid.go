@@ -46,8 +46,22 @@ type WANModel struct {
 	BetaWire float64
 	// Gamma is the per-level contention factor charged to the flat
 	// exchange's uncoordinated flows on this tier's shared uplinks
-	// (≥ 1), fitted from a small probe grid like the paper fits γ at n'.
-	Gamma float64
+	// (≥ 1 after clamping), fitted from small probe grids like the paper
+	// fits γ at n' — a size-indexed FactorCurve, looked up at the
+	// per-flow message size crossing the tier. A single-point curve
+	// (ScalarFactor) reproduces the scalar-factor model bit-identically.
+	Gamma FactorCurve
+}
+
+// gammaAt looks a contention-factor curve up at a per-pair size and
+// clamps the result to ≥ 1: a fitted factor below 1 (probe noise) must
+// never discount a leg below its analytic serialization.
+func gammaAt(c FactorCurve, bytes int) float64 {
+	g := c.At(bytes)
+	if g < 1 {
+		return 1
+	}
+	return g
 }
 
 // Alpha returns the WAN start-up: the smallest measured transfer time.
@@ -87,6 +101,13 @@ func (w WANModel) Transfer(bytes int) float64 {
 	}
 	for i := 1; i < len(c); i++ {
 		if bytes <= c[i].Bytes {
+			if c[i].Bytes <= c[i-1].Bytes {
+				// Zero-width segment (duplicate probe sizes on a
+				// hand-built curve): interpolating would divide by zero
+				// and spray NaN into every prediction; take the
+				// segment's later measurement instead.
+				return c[i].T
+			}
 			frac := float64(bytes-c[i-1].Bytes) / float64(c[i].Bytes-c[i-1].Bytes)
 			return c[i-1].T + frac*(c[i].T-c[i-1].T)
 		}
@@ -208,17 +229,21 @@ type GridModel struct {
 	// Root is the model tree. A lone leaf degenerates to the paper's
 	// single-cluster signature prediction.
 	Root *ModelNode
-	// OverlapGamma inflates the hier-direct WAN exchange legs (≥ 1):
-	// with the intra-cluster exchange still churning the LAN, inbound
-	// WAN packets get dropped at the edge and the wide-area flows pay
-	// loss recovery. Fitted from a probe grid, like the per-level
-	// Wan.Gamma; values < 1 are treated as 1.
-	OverlapGamma float64
+	// OverlapGamma inflates the hier-direct WAN exchange legs (≥ 1
+	// after clamping): with the intra-cluster exchange still churning
+	// the LAN, inbound WAN packets get dropped at the edge and the
+	// wide-area flows pay loss recovery. Fitted from probe grids at the
+	// planner's probe sizes, like the per-level Wan.Gamma — a
+	// size-indexed FactorCurve looked up at the exchange's effective
+	// per-pair size; values < 1 are treated as 1, and a single-point
+	// curve reproduces the scalar factor bit-identically.
+	OverlapGamma FactorCurve
 	// GatherGamma inflates the hier-gather gather and scatter legs
-	// (≥ 1): the strict phase structure synchronizes the s−1 local
-	// flows into a coordinator-port incast whose loss recovery the
-	// plain serialization term misses. Fitted from a probe grid.
-	GatherGamma float64
+	// (≥ 1 after clamping): the strict phase structure synchronizes the
+	// s−1 local flows into a coordinator-port incast whose loss
+	// recovery the plain serialization term misses. Fitted from probe
+	// grids, size-indexed like OverlapGamma.
+	GatherGamma FactorCurve
 }
 
 // TwoLevel builds the flat two-level model (the pre-recursive GridModel
@@ -308,11 +333,7 @@ func (g GridModel) FlatParts(m int) (fixed, startup, rootWan float64) {
 			if a == g.Root {
 				croot = wan
 			} else {
-				gamma := a.Wan.Gamma
-				if gamma < 1 {
-					gamma = 1
-				}
-				cfixed += wan * gamma
+				cfixed += wan * gammaAt(a.Wan.Gamma, m)
 			}
 		}
 		if t := cfixed + cstart + croot; t > worst {
@@ -348,9 +369,7 @@ func (g GridModel) PredictFlat(m int) float64 {
 	fixed, startup, rootWan := g.FlatParts(m)
 	gamma := 1.0
 	if !g.Root.IsLeaf() {
-		if gamma = g.Root.Wan.Gamma; gamma < 1 {
-			gamma = 1
-		}
+		gamma = gammaAt(g.Root.Wan.Gamma, m)
 	}
 	return fixed + startup + rootWan*gamma
 }
@@ -510,12 +529,8 @@ func (g GridModel) PredictHierGather(m int) float64 {
 	if g.TotalNodes() <= 1 {
 		return 0
 	}
-	kappa := g.GatherGamma
-	if kappa < 1 {
-		kappa = 1
-	}
 	intra, xchg, local := g.HierGatherParts(m)
-	return intra + xchg + local*kappa
+	return intra + xchg + local*gammaAt(g.GatherGamma, m)
 }
 
 // HierDirectParts decomposes the overlapped algorithm's prediction. Its
@@ -549,10 +564,6 @@ func (g GridModel) PredictHierDirect(m int) float64 {
 	if g.TotalNodes() <= 1 {
 		return 0
 	}
-	omega := g.OverlapGamma
-	if omega < 1 {
-		omega = 1
-	}
 	phase0, xchg, scatter := g.HierDirectParts(m)
-	return phase0 + xchg*omega + scatter
+	return phase0 + xchg*gammaAt(g.OverlapGamma, m) + scatter
 }

@@ -13,7 +13,7 @@ func testWan() WANModel {
 			{Bytes: 1 << 20, T: 0.180},
 		},
 		BetaWire: 8e-8,
-		Gamma:    3,
+		Gamma:    ScalarFactor(3),
 	}
 }
 
@@ -86,7 +86,7 @@ func threeLevelFixture() GridModel {
 			{Bytes: 1 << 20, T: 0.050},
 		},
 		BetaWire: 4e-8,
-		Gamma:    2,
+		Gamma:    ScalarFactor(2),
 	}
 	nation := func() *ModelNode {
 		return GroupNode(campus, LeafNode(4, sig), LeafNode(4, sig))
@@ -148,7 +148,7 @@ func TestGridPredictionsPositiveAndOrdered(t *testing.T) {
 func TestGridPredictFlatGammaScaling(t *testing.T) {
 	g := gridModelFixture()
 	lo := g.PredictFlat(64 << 10)
-	g.Root.Wan.Gamma = 30
+	g.Root.Wan.Gamma = ScalarFactor(30)
 	hi := g.PredictFlat(64 << 10)
 	if hi <= lo {
 		t.Fatalf("raising γ_wan must raise the flat prediction (%v -> %v)", lo, hi)
@@ -187,9 +187,9 @@ func TestGridTwoLevelMatchesClosedForm(t *testing.T) {
 	sizes := []int{4, 6}
 	wan := testWan()
 	g := TwoLevel(sizes, []Signature{sig, sig}, wan)
-	g.Root.Wan.Gamma = 3
-	g.OverlapGamma = 2.5
-	g.GatherGamma = 1.5
+	g.Root.Wan.Gamma = ScalarFactor(3)
+	g.OverlapGamma = ScalarFactor(2.5)
+	g.GatherGamma = ScalarFactor(1.5)
 	n := 10
 	for _, m := range []int{8 << 10, 64 << 10, 512 << 10} {
 		// Flat: PR 1's FlatParts loop.

@@ -25,10 +25,18 @@ import (
 //     reproduce the uniform decompositions (cut sums collapse to the
 //     n·m count terms).
 //
-// The fitted contention factors (γ_wan per tier, ω, κ) are unchanged:
-// they summarize loss-recovery inflation of the *pattern* (flat chaos,
-// overlapped relay, synchronized incast), which skew shifts in volume
-// but not in kind, and they keep multiplying the same legs.
+// The fitted contention factors (γ_wan per tier, ω, κ) keep
+// multiplying the same legs — they summarize loss-recovery inflation
+// of the *pattern* (flat chaos, overlapped relay, synchronized
+// incast), which skew shifts in volume but not in kind — but each
+// factor is a size-indexed FactorCurve, and the v-predictions look it
+// up at the leg's *effective per-flow size from the actual matrix
+// cut* (cut bytes over nonzero cut pairs) instead of the uniform
+// probe size. A skewed matrix whose fat rows push a tier's flows into
+// a different contention regime is priced with the factor fitted
+// nearest that regime — the skew-aware calibration. Uniform matrices
+// reduce every effective size to m exactly, and single-point curves
+// reduce every lookup to the scalar factor bit-identically.
 
 // rankRanges assigns every node of the model tree its contiguous rank
 // interval [lo, hi), leaf sizes accumulated in tree order — the rank
@@ -62,14 +70,27 @@ func (g GridModel) checkMatrix(sz coll.SizeMatrix) {
 
 // outCut returns the bytes subtree [lo, hi) sends into the rest of
 // [outerLo, outerHi), i.e. the rectangle sum over both flanks, plus the
-// largest single pair entry of that cut (the per-flow curve limit).
-func outCut(sz coll.SizeMatrix, lo, hi, outerLo, outerHi int) (cut, maxPair int) {
+// largest single pair entry of that cut (the per-flow curve limit) and
+// the number of nonzero pairs in it (the flow count a factor-curve
+// lookup divides the cut by).
+func outCut(sz coll.SizeMatrix, lo, hi, outerLo, outerHi int) (cut, maxPair, flows int) {
 	cut = sz.SumRect(lo, hi, outerLo, lo) + sz.SumRect(lo, hi, hi, outerHi)
 	maxPair = sz.MaxRect(lo, hi, outerLo, lo)
 	if m := sz.MaxRect(lo, hi, hi, outerHi); m > maxPair {
 		maxPair = m
 	}
-	return cut, maxPair
+	flows = sz.CountRect(lo, hi, outerLo, lo) + sz.CountRect(lo, hi, hi, outerHi)
+	return cut, maxPair, flows
+}
+
+// effSize returns the effective per-flow size of a cut: its byte sum
+// spread over its nonzero pairs. A uniform matrix reduces it to m
+// exactly; an empty cut is size 0.
+func effSize(cut, flows int) int {
+	if flows <= 0 {
+		return 0
+	}
+	return cut / flows
 }
 
 // localEffSize returns the leaf's effective per-pair local message
@@ -124,8 +145,17 @@ func (g GridModel) intraV(sz coll.SizeMatrix, ranges map[*ModelNode][2]int) floa
 // direction count — zero pairs send nothing), and `rootWan` the root
 // tier's transfer term. Each tier's transfer prices the actual cut:
 // per-flow curve limit at the cut's largest pair entry, aggregate wire
-// serialization at the cut's byte sum.
+// serialization at the cut's byte sum; each inner tier's γ_wan curve is
+// looked up at the cut's effective per-flow size.
 func (g GridModel) FlatPartsV(sz coll.SizeMatrix) (fixed, startup, rootWan float64) {
+	fixed, startup, rootWan, _ = g.flatPartsV(sz)
+	return fixed, startup, rootWan
+}
+
+// flatPartsV is FlatPartsV plus the worst leaf's effective per-flow
+// size at the root tier — the size PredictFlatV looks the root γ_wan
+// curve up at.
+func (g GridModel) flatPartsV(sz coll.SizeMatrix) (fixed, startup, rootWan float64, rootEff int) {
 	g.checkMatrix(sz)
 	ranges := g.rankRanges()
 	worst := -1.0
@@ -144,6 +174,7 @@ func (g GridModel) FlatPartsV(sz coll.SizeMatrix) (fixed, startup, rootWan float
 			clan = v.LAN.Predict(v.Size, eff)
 		}
 		cfixed, cstart, croot := clan, 0.0, 0.0
+		ceff := 0
 		for i, a := range ancestors {
 			c := childAt[i]
 			ar, cr := ranges[a], ranges[c]
@@ -157,7 +188,7 @@ func (g GridModel) FlatPartsV(sz coll.SizeMatrix) (fixed, startup, rootWan float
 				}
 			}
 			cstart += float64(rounds) * a.Wan.Alpha()
-			cut, maxPair := outCut(sz, cr[0], cr[1], ar[0], ar[1])
+			cut, maxPair, flows := outCut(sz, cr[0], cr[1], ar[0], ar[1])
 			if cut == 0 {
 				continue
 			}
@@ -170,41 +201,40 @@ func (g GridModel) FlatPartsV(sz coll.SizeMatrix) (fixed, startup, rootWan float
 			wan := t - a.Wan.Alpha()
 			if a == g.Root {
 				croot = wan
+				ceff = effSize(cut, flows)
 			} else {
-				gamma := a.Wan.Gamma
-				if gamma < 1 {
-					gamma = 1
-				}
-				cfixed += wan * gamma
+				cfixed += wan * gammaAt(a.Wan.Gamma, effSize(cut, flows))
 			}
 		}
 		if t := cfixed + cstart + croot; t > worst {
-			worst, fixed, startup, rootWan = t, cfixed, cstart, croot
+			worst, fixed, startup, rootWan, rootEff = t, cfixed, cstart, croot, ceff
 		}
 	}
 	walk(g.Root, nil, nil)
-	return fixed, startup, rootWan
+	return fixed, startup, rootWan, rootEff
 }
 
 // PredictFlatV models the flat direct exchange of an irregular total
 // exchange: AlltoallV's zero-skipping rounds pay start-ups only where
 // bytes flow, and each tier's shared uplinks serialize the actual cut
-// volume inflated by the tier's fitted contention factor. Uniform
-// matrices delegate to PredictFlat bit-identically.
+// volume inflated by the tier's fitted contention factor at the cut's
+// effective per-flow size. Uniform matrices delegate to PredictFlat
+// bit-identically; an all-zero matrix sends nothing and predicts 0.
 func (g GridModel) PredictFlatV(sz coll.SizeMatrix) float64 {
 	g.checkMatrix(sz)
+	if sz.Total() == 0 {
+		return 0
+	}
 	if m, ok := sz.Uniform(); ok {
 		return g.PredictFlat(m)
 	}
 	if g.TotalNodes() <= 1 {
 		return 0
 	}
-	fixed, startup, rootWan := g.FlatPartsV(sz)
+	fixed, startup, rootWan, rootEff := g.flatPartsV(sz)
 	gamma := 1.0
 	if !g.Root.IsLeaf() {
-		if gamma = g.Root.Wan.Gamma; gamma < 1 {
-			gamma = 1
-		}
+		gamma = gammaAt(g.Root.Wan.Gamma, rootEff)
 	}
 	return fixed + startup + rootWan*gamma
 }
@@ -334,7 +364,18 @@ func (g GridModel) tierLegsV(sz coll.SizeMatrix, ranges map[*ModelNode][2]int) (
 // (CoordBeta) replaces the nominal LAN gap when present, exactly as in
 // the uniform leafLocal.
 func (g GridModel) leafLegsV(sz coll.SizeMatrix, ranges map[*ModelNode][2]int) (gather, scatter float64) {
+	gather, scatter, _ = g.leafLegsVEff(sz, ranges)
+	return gather, scatter
+}
+
+// leafLegsVEff is leafLegsV plus the κ lookup size: the effective
+// per-pair size of the worst legs' incast traffic — the worst gather
+// leaf's relayed bytes and the worst scatter leaf's, spread over their
+// nonzero remote pairs (the coordinator's own excluded share removed
+// from both). A uniform matrix reduces it to m exactly.
+func (g GridModel) leafLegsVEff(sz coll.SizeMatrix, ranges map[*ModelNode][2]int) (gather, scatter float64, eff int) {
 	n := sz.NumRanks()
+	effOutB, effOutP, effInB, effInP := 0, 0, 0, 0
 	for _, lf := range g.Leaves() {
 		r := ranges[lf]
 		s := lf.Size
@@ -347,34 +388,63 @@ func (g GridModel) leafLegsV(sz coll.SizeMatrix, ranges map[*ModelNode][2]int) (
 			beta = lf.CoordBeta
 		}
 		c := float64(lf.coordSplit())
-		out, in := 0, 0
-		minOut, minIn := -1, -1
+		out, in, outPairs, inPairs := 0, 0, 0, 0
+		minOut, minIn, minOutPairs, minInPairs := -1, -1, 0, 0
 		for i := r[0]; i < r[1]; i++ {
 			o := sz.RowSum(i, 0, r[0]) + sz.RowSum(i, r[1], n)
 			v := sz.ColSum(i, 0, r[0]) + sz.ColSum(i, r[1], n)
+			op := sz.CountRect(i, i+1, 0, r[0]) + sz.CountRect(i, i+1, r[1], n)
+			vp := sz.CountRect(0, r[0], i, i+1) + sz.CountRect(r[1], n, i, i+1)
 			out += o
 			in += v
+			outPairs += op
+			inPairs += vp
 			if minOut < 0 || o < minOut {
-				minOut = o
+				minOut, minOutPairs = o, op
 			}
 			if minIn < 0 || v < minIn {
-				minIn = v
+				minIn, minInPairs = v, vp
 			}
 		}
 		out -= minOut
 		in -= minIn
+		outPairs -= minOutPairs
+		inPairs -= minInPairs
 		if out > 0 {
 			if t := float64(s-1)*h.Alpha + float64(out)*beta/c; t > gather {
 				gather = t
+				effOutB, effOutP = out, outPairs
 			}
 		}
 		if in > 0 {
 			if t := float64(s-1)*h.Alpha + float64(in)*beta/c; t > scatter {
 				scatter = t
+				effInB, effInP = in, inPairs
 			}
 		}
 	}
-	return gather, scatter
+	return gather, scatter, effSize(effOutB+effInB, effOutP+effInP)
+}
+
+// overlapEff returns the worst leaf's effective local per-pair size —
+// the size the ω curve is looked up at. ω prices the loss recovery
+// wide-area relay flows pay while the intra-cluster exchange churns
+// the LAN (§5's overlap term), and that churn's intensity is the local
+// exchange's per-pair volume: a matrix with thin local blocks (the
+// block-diagonal skew) interferes with the relay far less than the
+// uniform probe at the cross-pair size did, and a hotspot's fat local
+// rows far more. The ω probes fit the curve at uniform per-pair sizes,
+// where local and cross sizes coincide, so the local intensity is the
+// index that transfers. A uniform matrix reduces it to m exactly.
+func (g GridModel) overlapEff(sz coll.SizeMatrix, ranges map[*ModelNode][2]int) int {
+	worst := 0
+	for _, lf := range g.Leaves() {
+		r := ranges[lf]
+		if eff, ok := localEffSize(sz, r[0], r[1]); ok && eff > worst {
+			worst = eff
+		}
+	}
+	return worst
 }
 
 // HierGatherPartsV decomposes the sequential hierarchical algorithm
@@ -383,30 +453,38 @@ func (g GridModel) leafLegsV(sz coll.SizeMatrix, ranges map[*ModelNode][2]int) (
 // legs priced at the actual tier cuts, and the combined leaf
 // gather+scatter legs that GatherGamma multiplies.
 func (g GridModel) HierGatherPartsV(sz coll.SizeMatrix) (intra, xchg, local float64) {
+	intra, xchg, local, _ = g.hierGatherPartsV(sz)
+	return intra, xchg, local
+}
+
+// hierGatherPartsV is HierGatherPartsV plus the κ lookup size — the
+// shared core, so the public decomposition and the prediction summing
+// it cannot drift apart.
+func (g GridModel) hierGatherPartsV(sz coll.SizeMatrix) (intra, xchg, local float64, kappaEff int) {
 	g.checkMatrix(sz)
 	ranges := g.rankRanges()
 	tx, ts := g.tierLegsV(sz, ranges)
-	lg, ls := g.leafLegsV(sz, ranges)
-	return g.intraV(sz, ranges), tx + ts, lg + ls
+	lg, ls, eff := g.leafLegsVEff(sz, ranges)
+	return g.intraV(sz, ranges), tx + ts, lg + ls, eff
 }
 
 // PredictHierGatherV models the sequential hierarchical algorithm for
-// an irregular exchange. Uniform matrices delegate to PredictHierGather
-// bit-identically.
+// an irregular exchange: the κ curve is looked up at the worst leafs'
+// effective incast size. Uniform matrices delegate to
+// PredictHierGather bit-identically; an all-zero matrix predicts 0.
 func (g GridModel) PredictHierGatherV(sz coll.SizeMatrix) float64 {
 	g.checkMatrix(sz)
+	if sz.Total() == 0 {
+		return 0
+	}
 	if m, ok := sz.Uniform(); ok {
 		return g.PredictHierGather(m)
 	}
 	if g.TotalNodes() <= 1 {
 		return 0
 	}
-	kappa := g.GatherGamma
-	if kappa < 1 {
-		kappa = 1
-	}
-	intra, xchg, local := g.HierGatherPartsV(sz)
-	return intra + xchg + local*kappa
+	intra, xchg, local, eff := g.hierGatherPartsV(sz)
+	return intra + xchg + local*gammaAt(g.GatherGamma, eff)
 }
 
 // HierDirectPartsV decomposes the overlapped algorithm under a size
@@ -416,6 +494,14 @@ func (g GridModel) PredictHierGatherV(sz coll.SizeMatrix) float64 {
 // (OverlapGamma's multiplicand) carry the actual tier cuts, and the
 // scatter legs (per-tier downward plus leaf-local) close the plan.
 func (g GridModel) HierDirectPartsV(sz coll.SizeMatrix) (phase0, xchg, scatter float64) {
+	phase0, xchg, scatter, _ = g.hierDirectPartsV(sz)
+	return phase0, xchg, scatter
+}
+
+// hierDirectPartsV is HierDirectPartsV plus the ω lookup size — the
+// shared core, computing the rank ranges once for both the legs and
+// the overlap-intensity lookup.
+func (g GridModel) hierDirectPartsV(sz coll.SizeMatrix) (phase0, xchg, scatter float64, omegaEff int) {
 	g.checkMatrix(sz)
 	ranges := g.rankRanges()
 	n := sz.NumRanks()
@@ -441,24 +527,25 @@ func (g GridModel) HierDirectPartsV(sz coll.SizeMatrix) (phase0, xchg, scatter f
 	}
 	tx, ts := g.tierLegsV(sz, ranges)
 	_, ls := g.leafLegsV(sz, ranges)
-	return phase0, tx, ts + ls
+	return phase0, tx, ts + ls, g.overlapEff(sz, ranges)
 }
 
 // PredictHierDirectV models the overlapped hierarchical algorithm for
-// an irregular exchange. Uniform matrices delegate to PredictHierDirect
-// bit-identically.
+// an irregular exchange: the ω curve is looked up at the worst leaf's
+// effective local per-pair size — the overlap intensity the factor
+// summarizes. Uniform matrices delegate to PredictHierDirect
+// bit-identically; an all-zero matrix predicts 0.
 func (g GridModel) PredictHierDirectV(sz coll.SizeMatrix) float64 {
 	g.checkMatrix(sz)
+	if sz.Total() == 0 {
+		return 0
+	}
 	if m, ok := sz.Uniform(); ok {
 		return g.PredictHierDirect(m)
 	}
 	if g.TotalNodes() <= 1 {
 		return 0
 	}
-	omega := g.OverlapGamma
-	if omega < 1 {
-		omega = 1
-	}
-	phase0, xchg, scatter := g.HierDirectPartsV(sz)
-	return phase0 + xchg*omega + scatter
+	phase0, xchg, scatter, eff := g.hierDirectPartsV(sz)
+	return phase0 + xchg*gammaAt(g.OverlapGamma, eff) + scatter
 }

@@ -22,8 +22,8 @@ func relClose(a, b, tol float64) bool {
 // fixtures, with non-trivial contention factors and coordinator splits.
 func TestGridVUniformBitEqual(t *testing.T) {
 	mk := func(name string, g GridModel) (string, GridModel) {
-		g.OverlapGamma = 2.5
-		g.GatherGamma = 1.5
+		g.OverlapGamma = ScalarFactor(2.5)
+		g.GatherGamma = ScalarFactor(1.5)
 		return name, g
 	}
 	fixtures := map[string]GridModel{}
