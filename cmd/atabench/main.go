@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/coll"
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func main() {
 		seed  = flag.Int64("seed", 0, "simulation seed")
 		csv   = flag.Bool("csv", false, "CSV output instead of aligned tables")
 		alg   = flag.String("alg", "postall", "alltoall algorithm: direct|postall|bruck|pairwise")
+		trace = flag.String("trace", "", "write an NDJSON observability trace of the grid experiments' planner runs to this file")
 	)
 	flag.Parse()
 
@@ -53,6 +55,9 @@ func main() {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	if *trace != "" {
+		cfg.Trace = obs.New()
 	}
 	switch *alg {
 	case "direct":
@@ -92,5 +97,22 @@ func main() {
 			exp.WriteText(os.Stdout, res)
 		}
 		fmt.Println()
+	}
+
+	if cfg.Trace != nil {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "atabench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := cfg.Trace.WriteNDJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "atabench: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "atabench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("observability trace (%d events) written to %s\n", len(cfg.Trace.Events()), *trace)
 	}
 }

@@ -1,0 +1,44 @@
+// Command tracecheck validates an NDJSON observability trace (as
+// written by gridplanner -trace or atabench -trace) against the event
+// schema in docs/OBSERVABILITY.md: every line must be a well-formed
+// event of a known type with its required fields. Exits nonzero on the
+// first malformed line, so CI can gate on trace well-formedness.
+//
+// Usage:
+//
+//	tracecheck trace.ndjson
+//	gridplanner -trace /dev/stdout | tracecheck -
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.ndjson|->")
+		os.Exit(2)
+	}
+	var r io.Reader
+	if os.Args[1] == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	n, err := obs.ValidateNDJSON(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace ok: %d lines\n", n)
+}

@@ -18,13 +18,17 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/cluster"
 	"repro/internal/coll"
 	"repro/internal/grid"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/textplot"
 )
 
 // candidate is a grid we could rent, with a per-node-hour cost.
@@ -34,6 +38,16 @@ type candidate struct {
 }
 
 func main() {
+	traceOut := flag.String("trace", "", "write an NDJSON observability trace of the run to this file")
+	flag.Parse()
+	// The trace collector threads through every planner characterization
+	// and the traced validation runs below; nil (no -trace) disables all
+	// recording. See docs/OBSERVABILITY.md for the event schema.
+	var tc *obs.Collector
+	if *traceOut != "" {
+		tc = obs.New()
+	}
+
 	// Workload: an iterative solver doing 30 All-to-All exchanges of
 	// 48 kB per pair per iteration; deadline 60 s of communication.
 	const (
@@ -88,7 +102,7 @@ func main() {
 	for _, c := range cands {
 		// Characterize each member network and each WAN tier once; the
 		// model then predicts any message size on this topology.
-		pl, err := grid.NewPlanner(c.topo, grid.Options{FitN: 6, Reps: 1})
+		pl, err := grid.NewPlanner(c.topo, grid.Options{FitN: 6, Reps: 1, Trace: tc})
 		if err != nil {
 			panic(err)
 		}
@@ -111,6 +125,9 @@ func main() {
 		}
 		for _, ch := range choices {
 			fmt.Printf("%-12s        · coordinators %s\n", "", ch)
+		}
+		for _, wn := range pl.Warnings {
+			fmt.Printf("%-12s        · warning: %s\n", "", wn)
 		}
 		if meets && (bestCost < 0 || cost < bestCost) {
 			bestCost = cost
@@ -182,6 +199,8 @@ func main() {
 	// cross-subtree byte cuts (each factor curve looked up at the legs'
 	// effective per-flow sizes) instead of n·m (docs/MODEL.md §7–§8).
 	hotspot := coll.SizeMatrixFromRows(cluster.HotspotRowBytes(threeLvl, msgSize, 0, 4))
+	renderDiagnostics(tc, threePlanner, threeLvl, msgSize)
+
 	fmt.Printf("\nAll-to-Allv on %s (hotspot-row: rank 0 sends 4×%d B per pair):\n",
 		threeLvl.Name, msgSize)
 	for _, pr := range threePlanner.PredictV(hotspot) { // sorted fastest first
@@ -198,4 +217,54 @@ func main() {
 	})
 	fmt.Printf("one simulated %s exchange of the hotspot matrix (%d B total): %.2fs\n",
 		vplan.Alg, hotspot.Total(), measV.Mean())
+
+	if tc != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			panic(err)
+		}
+		if err := tc.WriteNDJSON(f); err != nil {
+			panic(err)
+		}
+		if err := f.Close(); err != nil {
+			panic(err)
+		}
+		fmt.Printf("\nobservability trace (%d events) written to %s\n", len(tc.Events()), *traceOut)
+	}
+}
+
+// renderDiagnostics shows what the observability layer collected for
+// the 3-level deployment when tracing is on: the probe-dispersion
+// intervals behind the fitted factors, and the per-phase timing
+// breakdown of one traced validation run (which also lands in the
+// trace as simulate.phases and netsim.port events).
+func renderDiagnostics(tc *obs.Collector, pl *grid.Planner, topo cluster.TopoNode, msgSize int) {
+	if tc == nil {
+		return
+	}
+	var labels []string
+	var lo, mid, hi []float64
+	for _, ps := range pl.ProbeStats {
+		labels = append(labels, ps.Label())
+		lo, mid, hi = append(lo, ps.Min), append(mid, ps.Median), append(hi, ps.Max)
+	}
+	fmt.Println()
+	fmt.Print(textplot.Intervals(
+		fmt.Sprintf("%s probe dispersion per seed (min—median—max, s)", topo.Name),
+		labels, lo, mid, hi, 40))
+
+	t, phases, err := grid.SimulateSpecTraced(tc, topo, pl.PlanSpec(), coll.HierGather, msgSize, 1, 1, 1)
+	if err != nil {
+		panic(err)
+	}
+	var phLabels []string
+	var phDurs []float64
+	for _, ph := range phases {
+		phLabels = append(phLabels, ph.Label)
+		phDurs = append(phDurs, ph.Dur())
+	}
+	fmt.Println()
+	fmt.Print(textplot.HBar(
+		fmt.Sprintf("%s hier-gather per-phase span (s, total %.2fs)", topo.Name, t),
+		phLabels, phDurs, 40))
 }

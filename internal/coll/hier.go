@@ -848,19 +848,7 @@ func AlltoallHierPlanned(r *mpi.Rank, plan *HierPlan, m int) {
 		panic(fmt.Sprintf("coll: plan for %d ranks executed on world of %d",
 			plan.Place.NumRanks(), r.Size()))
 	}
-	for _, ph := range plan.perRank[r.ID()] {
-		if len(ph.sends) == 0 && len(ph.recvs) == 0 {
-			continue
-		}
-		qs := make([]*mpi.Request, 0, len(ph.sends)+len(ph.recvs))
-		for _, rv := range ph.recvs {
-			qs = append(qs, r.Irecv(rv.peer, rv.tag))
-		}
-		for _, sd := range ph.sends {
-			qs = append(qs, r.Isend(sd.peer, sd.tag, sd.blocks*m))
-		}
-		r.WaitAll(qs...)
-	}
+	runPlanPhases(r, plan, m, nil)
 }
 
 // AlltoallHier compiles and executes the hierarchical All-to-All. For

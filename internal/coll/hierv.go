@@ -94,23 +94,7 @@ func AlltoallHierPlannedV(r *mpi.Rank, plan *HierPlan) {
 		panic(fmt.Sprintf("coll: plan for %d ranks executed on world of %d",
 			plan.Place.NumRanks(), r.Size()))
 	}
-	for _, ph := range plan.perRank[r.ID()] {
-		qs := make([]*mpi.Request, 0, len(ph.sends)+len(ph.recvs))
-		for _, rv := range ph.recvs {
-			if plan.vbytes[rv.msgIdx] == 0 {
-				continue
-			}
-			qs = append(qs, r.Irecv(rv.peer, rv.tag))
-		}
-		for _, sd := range ph.sends {
-			b := plan.vbytes[sd.msgIdx]
-			if b == 0 {
-				continue
-			}
-			qs = append(qs, r.Isend(sd.peer, sd.tag, b))
-		}
-		r.WaitAll(qs...)
-	}
+	runPlanPhases(r, plan, 0, nil)
 }
 
 // EffectiveV resolves the algorithm that actually runs an irregular

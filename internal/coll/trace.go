@@ -1,0 +1,187 @@
+package coll
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Per-phase execution tracing. A compiled HierPlan runs as a sequence
+// of post-and-wait phases on every rank; when a deep plan underperforms
+// its prediction, the end-to-end makespan says nothing about *which*
+// phase — the tier exchange, the leaf gather, a scatter level — ate the
+// time. A PhaseTrace records each rank's phase boundaries (simulated
+// time, so the trace is deterministic under a fixed seed) and reduces
+// them to per-phase spans.
+
+// PhaseTrace records per-rank phase boundaries of one plan's
+// execution. It is sized for a specific plan and world; ranks write
+// disjoint slots, which is race-free under the simulator's one-active-
+// process discipline (the same structure coll.Measure relies on). Under
+// repeated executions (warmup + reps) each rank overwrites its slots,
+// so the trace reflects the final repetition.
+type PhaseTrace struct {
+	plan   *HierPlan
+	starts [][]sim.Time // [phase][rank]
+	ends   [][]sim.Time
+	active [][]bool // rank posted operations in the phase
+}
+
+// NewPhaseTrace builds a trace sized for the plan's phases and ranks.
+func NewPhaseTrace(plan *HierPlan) *PhaseTrace {
+	n := plan.Place.NumRanks()
+	p := plan.NumPhases()
+	pt := &PhaseTrace{plan: plan}
+	pt.starts = make([][]sim.Time, p)
+	pt.ends = make([][]sim.Time, p)
+	pt.active = make([][]bool, p)
+	for i := 0; i < p; i++ {
+		pt.starts[i] = make([]sim.Time, n)
+		pt.ends[i] = make([]sim.Time, n)
+		pt.active[i] = make([]bool, n)
+	}
+	return pt
+}
+
+// record stores one rank's boundaries for a phase it participated in.
+func (pt *PhaseTrace) record(phase, rank int, start, end sim.Time) {
+	pt.starts[phase][rank] = start
+	pt.ends[phase][rank] = end
+	pt.active[phase][rank] = true
+}
+
+// PhaseSpan is one phase's reduction over the ranks that posted
+// operations in it: earliest post time and latest completion, both in
+// seconds relative to the first recorded post of the whole execution.
+type PhaseSpan struct {
+	Phase int
+	Label string
+	Start float64 // seconds from the execution's first post
+	End   float64
+	Ranks int // ranks that posted operations in the phase
+}
+
+// Dur returns the span's width in seconds.
+func (s PhaseSpan) Dur() float64 { return s.End - s.Start }
+
+// Spans reduces the recorded boundaries to one span per phase that saw
+// any activity, in phase order.
+func (pt *PhaseTrace) Spans() []PhaseSpan {
+	t0 := sim.Time(-1)
+	for p := range pt.starts {
+		for r := range pt.starts[p] {
+			if pt.active[p][r] && (t0 < 0 || pt.starts[p][r] < t0) {
+				t0 = pt.starts[p][r]
+			}
+		}
+	}
+	var out []PhaseSpan
+	for p := range pt.starts {
+		lo, hi, ranks := sim.Time(-1), sim.Time(0), 0
+		for r := range pt.starts[p] {
+			if !pt.active[p][r] {
+				continue
+			}
+			ranks++
+			if lo < 0 || pt.starts[p][r] < lo {
+				lo = pt.starts[p][r]
+			}
+			if pt.ends[p][r] > hi {
+				hi = pt.ends[p][r]
+			}
+		}
+		if ranks == 0 {
+			continue
+		}
+		out = append(out, PhaseSpan{
+			Phase: p, Label: pt.plan.PhaseLabel(p),
+			Start: (lo - t0).Seconds(), End: (hi - t0).Seconds(), Ranks: ranks,
+		})
+	}
+	return out
+}
+
+// PhaseLabel names phase i of the plan in terms of the algorithm's
+// structure. For HierGather the compiler's phase layout is: phase 0 the
+// intra-leaf exchange, phase 1 the leaf gather, phase 1+h the tier-h
+// coordinator exchange, and phase 1+H+d the depth-d scatter (H the tree
+// height). HierDirect phases are dependency levels of the overlapped
+// relay, which interleave gather, exchange, and scatter traffic.
+func (p *HierPlan) PhaseLabel(i int) string {
+	if p.Alg == HierGather {
+		h := p.Tree.Height()
+		switch {
+		case i == 0:
+			return "intra"
+		case i == 1:
+			return "leaf-gather"
+		case i <= 1+h:
+			return fmt.Sprintf("tier-%d-exchange", i-1)
+		default:
+			return fmt.Sprintf("scatter-depth-%d", i-1-h)
+		}
+	}
+	return fmt.Sprintf("level-%d", i)
+}
+
+// AlltoallHierPlannedTraced executes a compiled uniform plan like
+// AlltoallHierPlanned while recording the calling rank's phase
+// boundaries into pt (which must have been built for this plan). A nil
+// pt degenerates to the untraced executor.
+func AlltoallHierPlannedTraced(r *mpi.Rank, plan *HierPlan, m int, pt *PhaseTrace) {
+	if plan.Place.NumRanks() != r.Size() {
+		panic(fmt.Sprintf("coll: plan for %d ranks executed on world of %d",
+			plan.Place.NumRanks(), r.Size()))
+	}
+	runPlanPhases(r, plan, m, pt)
+}
+
+// AlltoallHierPlannedVTraced executes a size-bound plan like
+// AlltoallHierPlannedV while recording the calling rank's phase
+// boundaries into pt. A nil pt degenerates to the untraced executor.
+func AlltoallHierPlannedVTraced(r *mpi.Rank, plan *HierPlan, pt *PhaseTrace) {
+	if plan.vbytes == nil {
+		panic("coll: plan has no bound size matrix; compile with PlanHierTreeV")
+	}
+	if plan.Place.NumRanks() != r.Size() {
+		panic(fmt.Sprintf("coll: plan for %d ranks executed on world of %d",
+			plan.Place.NumRanks(), r.Size()))
+	}
+	runPlanPhases(r, plan, 0, pt)
+}
+
+// runPlanPhases is the shared phase loop of the uniform and irregular
+// executors: post the phase's receives and sends, wait for all, record
+// boundaries when traced. Uniform plans (vbytes nil) size sends as
+// blocks·m and skip empty phases outright; size-bound plans skip
+// zero-byte messages individually.
+func runPlanPhases(r *mpi.Rank, plan *HierPlan, m int, pt *PhaseTrace) {
+	for pi, ph := range plan.perRank[r.ID()] {
+		if plan.vbytes == nil && len(ph.sends) == 0 && len(ph.recvs) == 0 {
+			continue
+		}
+		start := r.Now()
+		qs := make([]*mpi.Request, 0, len(ph.sends)+len(ph.recvs))
+		for _, rv := range ph.recvs {
+			if plan.vbytes != nil && plan.vbytes[rv.msgIdx] == 0 {
+				continue
+			}
+			qs = append(qs, r.Irecv(rv.peer, rv.tag))
+		}
+		for _, sd := range ph.sends {
+			b := sd.blocks * m
+			if plan.vbytes != nil {
+				b = plan.vbytes[sd.msgIdx]
+				if b == 0 {
+					continue
+				}
+			}
+			qs = append(qs, r.Isend(sd.peer, sd.tag, b))
+		}
+		r.WaitAll(qs...)
+		if pt != nil && len(qs) > 0 {
+			pt.record(pi, r.ID(), start, r.Now())
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/coll"
 	"repro/internal/model"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/signature"
 )
 
@@ -41,6 +42,10 @@ type Config struct {
 	// default, PostAll, matches the nonblocking post-everything direct
 	// exchange of the LAM/MPICH implementations the paper measured.
 	Algorithm coll.Algorithm
+	// Trace, when non-nil, collects the grid experiments' planner
+	// characterization traces (see grid.Options.Trace); nil disables
+	// tracing.
+	Trace *obs.Collector
 }
 
 // DefaultConfig is the CI-affordable configuration.

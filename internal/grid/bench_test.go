@@ -1,0 +1,86 @@
+package grid
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/coll"
+	"repro/internal/obs"
+)
+
+// BenchmarkNewPlanner measures a full two-level characterization with
+// tracing enabled and reports the planner's own work counters next to
+// wall time: probe simulations per characterization and discrete sim
+// events per characterization — the metrics BENCH_PLANNER.json tracks
+// so a probe-count regression (a broken cache, a widened sweep) shows
+// up even when wall time is noisy.
+func BenchmarkNewPlanner(b *testing.B) {
+	topo := testTopo()
+	c := obs.New()
+	opt := cheapOptions()
+	opt.Trace = c
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Reset()
+		if _, err := NewPlanner(topo, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// The last iteration's counters: Reset zeroes them each round, so
+	// they describe one characterization, not the sum over b.N.
+	for _, cv := range c.Counters() {
+		switch cv.Name {
+		case CtrProbes:
+			b.ReportMetric(float64(cv.Value), "probes/op")
+		case CtrSimEvents:
+			b.ReportMetric(float64(cv.Value), "simevents/op")
+		}
+	}
+}
+
+// BenchmarkPredictV measures irregular prediction with observability
+// disabled (nil collector) — the configuration whose cost must not
+// regress against the pre-observability planner. The skewed workload
+// exercises the non-uniform path, where every tier prices its actual
+// byte cut.
+func BenchmarkPredictV(b *testing.B) {
+	topo := testTopo()
+	pl, err := NewPlanner(topo, cheapOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sz := coll.SizeMatrixFromRows(cluster.BlockDiagonalBytes(topo, 256<<10, 4<<10))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if preds := pl.PredictV(sz); len(preds) != 3 {
+			b.Fatalf("got %d predictions", len(preds))
+		}
+	}
+}
+
+// BenchmarkPredictVTraced is BenchmarkPredictV with a live collector,
+// quantifying the enabled-tracing overhead (factor.lookup events per
+// prediction are reported as events/op).
+func BenchmarkPredictVTraced(b *testing.B) {
+	topo := testTopo()
+	pl, err := NewPlanner(topo, cheapOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := obs.New()
+	pl.Model.Obs = c
+	sz := coll.SizeMatrixFromRows(cluster.BlockDiagonalBytes(topo, 256<<10, 4<<10))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Reset()
+		if preds := pl.PredictV(sz); len(preds) != 3 {
+			b.Fatalf("got %d predictions", len(preds))
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(c.Events())), "events/op")
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/coll"
 	"repro/internal/model"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // Bandwidth-aware coordinator selection. The hierarchical relay
@@ -72,6 +73,7 @@ func probeHeadroom(p cluster.Profile, nodes int, opt Options) []float64 {
 	m := 4 * opt.ProbeSize // bandwidth-dominated transfer
 	times := make([]float64, len(pairs))
 	cl := cluster.Build(p, nodes, opt.Seed+113)
+	cl.Net.AttachCollector(opt.Trace)
 	w := mpi.NewWorld(cl, mpi.Config{})
 	w.Run(func(r *mpi.Rank) {
 		for pi, pr := range pairs {
@@ -94,6 +96,7 @@ func probeHeadroom(p cluster.Profile, nodes int, opt Options) []float64 {
 			}
 		}
 	})
+	addRunCounters(opt.Trace, cl)
 	for pi, pr := range pairs {
 		if times[pi] <= 0 {
 			continue
@@ -461,10 +464,13 @@ func (pl *Planner) PlanSpec() coll.TreeSpec {
 // inflation of the plan that actually runs, and a selection that moves
 // the relay off a degraded port (or splits it) changes that plan
 // materially — curves fitted against the lowest-rank default would
-// misprice it.
+// misprice it. Probe dispersion and instability land in pl.ProbeStats
+// and pl.Warnings with Stage "refit", alongside the initial fit's.
 func (pl *Planner) refitStrategyFactors(choices []CoordChoice) error {
 	capN := pl.opt.ProbeCap
 	probeTopo := cappedTree(pl.Topo, capN)
+	sp := pl.opt.Trace.Span("planner.refit_strategy", obs.Int("probe_cap", capN))
+	defer sp.End()
 
 	// Capped view of the selection: chosen node indices beyond the
 	// probe cap fall away; a leaf with none left reverts to default.
@@ -504,29 +510,35 @@ func (pl *Planner) refitStrategyFactors(choices []CoordChoice) error {
 
 	var omegaPts, kappaPts []model.FactorPoint
 	for _, p := range pl.opt.ProbeSizes {
-		simHD, err := probeTypical(pl.opt.Seed+71, func(sd int64) (float64, error) {
-			return SimulateSpec(probeTopo, spec, coll.HierDirect, p, sd, 1, pl.opt.Reps)
+		simHD, hdTimes, err := probeTypical(pl.opt.Seed+71, func(sd int64) (float64, error) {
+			return simulateSpecObs(pl.opt.Trace, probeTopo, spec, coll.HierDirect, p, sd, 1, pl.opt.Reps)
 		})
 		if err != nil {
 			return err
 		}
+		pl.recordProbe(sp, "omega", "", "refit", p, pl.opt.Seed+71, hdTimes)
 		o := 1.0
 		if phase0, xchg, scatter := probeModel.HierDirectParts(p); xchg > 0 {
 			o = clampGamma((simHD - phase0 - scatter) / xchg)
 		}
+		sp.Event("fit.point", obs.Str("factor", "omega"), obs.Int("size", p), obs.F64("value", o))
 		omegaPts = append(omegaPts, model.FactorPoint{Bytes: p, Factor: o})
 
-		simHG, err := probeTypical(pl.opt.Seed+89, func(sd int64) (float64, error) {
-			return SimulateSpec(probeTopo, spec, coll.HierGather, p, sd, 1, pl.opt.Reps)
+		simHG, hgTimes, err := probeTypical(pl.opt.Seed+89, func(sd int64) (float64, error) {
+			return simulateSpecObs(pl.opt.Trace, probeTopo, spec, coll.HierGather, p, sd, 1, pl.opt.Reps)
 		})
 		if err != nil {
 			return err
 		}
+		pl.recordProbe(sp, "kappa", "", "refit", p, pl.opt.Seed+89, hgTimes)
 		k := 1.0
 		if intra, xchg, local := probeModel.HierGatherParts(p); local > 0 {
 			k = clampGamma((simHG - intra - xchg) / local)
 		}
+		sp.Event("fit.point", obs.Str("factor", "kappa"), obs.Int("size", p), obs.F64("value", k))
 		kappaPts = append(kappaPts, model.FactorPoint{Bytes: p, Factor: k})
+
+		pl.checkOverlap(sp, "refit", p, hdTimes, hgTimes)
 	}
 	pl.Model.OverlapGamma = model.CurveOf(omegaPts...)
 	pl.Model.GatherGamma = model.CurveOf(kappaPts...)
@@ -538,6 +550,12 @@ func (pl *Planner) refitStrategyFactors(choices []CoordChoice) error {
 // PlanSpec's selected coordinators) in full packet-level simulation —
 // the ground truth that validates a coordinator choice.
 func SimulateSpec(topo cluster.TopoNode, spec coll.TreeSpec, alg coll.HierAlgorithm, m int, seed int64, warmup, reps int) (float64, error) {
+	return simulateSpecObs(nil, topo, spec, alg, m, seed, warmup, reps)
+}
+
+// simulateSpecObs is SimulateSpec with an optional trace collector, the
+// refit probes' counterpart of simulateObs.
+func simulateSpecObs(c *obs.Collector, topo cluster.TopoNode, spec coll.TreeSpec, alg coll.HierAlgorithm, m int, seed int64, warmup, reps int) (float64, error) {
 	g, err := cluster.BuildGridTree(topo, seed)
 	if err != nil {
 		return 0, err
@@ -547,10 +565,9 @@ func SimulateSpec(topo cluster.TopoNode, spec coll.TreeSpec, alg coll.HierAlgori
 		return 0, fmt.Errorf("grid: plan spec covers %d ranks, topology has %d",
 			plan.Place.NumRanks(), len(g.Env.Hosts))
 	}
-	w := mpi.NewWorld(g.Env, mpi.Config{})
-	return coll.Measure(w, warmup, reps, func(r *mpi.Rank) {
+	return measureEnv(c, g.Env, warmup, reps, func(r *mpi.Rank) {
 		coll.AlltoallHierPlanned(r, plan, m)
-	}).Mean(), nil
+	}), nil
 }
 
 // DescribeStrategy maps a planner strategy to the coll algorithm it

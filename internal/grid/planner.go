@@ -28,6 +28,7 @@ import (
 	"repro/internal/coll"
 	"repro/internal/model"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/signature"
 	"repro/internal/transport"
 )
@@ -107,6 +108,14 @@ type Options struct {
 	Reps int
 	// Seed drives the characterization simulations.
 	Seed int64
+	// Trace, when non-nil, collects the characterization's spans and
+	// events (per-tier WAN probes, per-seed factor-probe samples and
+	// dispersion, fitted curve points) plus aggregate counters (probe
+	// count, simulator events, transport retransmits). NewPlanner also
+	// installs it on the assembled Model, so later predictions emit
+	// factor.lookup events into the same trace. Nil disables all
+	// tracing; the disabled paths cost nil checks only.
+	Trace *obs.Collector
 }
 
 func (o Options) withDefaults() Options {
@@ -213,6 +222,14 @@ type Planner struct {
 	// Selected holds the per-leaf coordinator selection after
 	// SelectCoordinators; nil until then (the lowest-rank default).
 	Selected []CoordChoice
+	// Warnings flags seed-sensitive strategy probes discovered while
+	// fitting (see ProbeWarning). Populated whether or not a Trace
+	// collector is set.
+	Warnings []ProbeWarning
+	// ProbeStats holds every contention-factor probe's per-seed
+	// dispersion in fit order, for diagnostics rendering. Populated
+	// whether or not a Trace collector is set.
+	ProbeStats []ProbeStat
 
 	opt Options
 }
@@ -255,6 +272,10 @@ func NewPlanner(topo cluster.TopoNode, opt Options) (*Planner, error) {
 	}
 
 	pl := &Planner{Topo: topo, opt: opt}
+	rootSpan := opt.Trace.Span("planner.characterize",
+		obs.Str("topo", topo.Name), obs.Int("leaves", topo.NumLeaves()),
+		obs.Int("nodes", topo.TotalNodes()))
+	defer rootSpan.End()
 
 	// Leaf characterization: ping-pong Hockney plus the paper's
 	// signature fit, cached on the full profile value (members sharing a
@@ -269,20 +290,23 @@ func NewPlanner(topo cluster.TopoNode, opt Options) (*Planner, error) {
 		if _, ok := cache[profileKey(p)]; ok {
 			continue
 		}
+		sp := rootSpan.Span("planner.leaf_fit", obs.Str("profile", p.Name), obs.Int("fit_n", opt.FitN))
 		h := calib.PingPong(p, mpi.Config{}, opt.Seed, calib.PingPongConfig{Reps: 3})
 		samples := make([]signature.Sample, 0, len(opt.FitSizes))
 		for i, m := range opt.FitSizes {
 			cl := cluster.Build(p, opt.FitN, opt.Seed+int64(i)*101)
-			w := mpi.NewWorld(cl, mpi.Config{})
-			meas := coll.Measure(w, 1, opt.Reps, func(r *mpi.Rank) {
+			t := measureEnv(opt.Trace, cl, 1, opt.Reps, func(r *mpi.Rank) {
 				coll.Alltoall(r, m, coll.PostAll)
 			})
-			samples = append(samples, signature.Sample{M: m, T: meas.Mean()})
+			sp.Event("fit.sample", obs.Int("size", m), obs.F64("t_s", t))
+			samples = append(samples, signature.Sample{M: m, T: t})
 		}
 		sig, _, err := signature.Fit(h, opt.FitN, samples, signature.Options{})
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("grid: fitting %s: %w", p.Name, err)
 		}
+		sp.End()
 		cache[profileKey(p)] = charac{h: h, sig: sig}
 	}
 	for _, lf := range topo.Leaves() {
@@ -310,7 +334,7 @@ func NewPlanner(topo cluster.TopoNode, opt Options) (*Planner, error) {
 	// measured on minimal instances of the grid. Structurally identical
 	// tiers share one measured curve through the cache.
 	curves := map[string]model.WANModel{}
-	root, err := buildModelTree(topo, 0, func(p cluster.Profile) model.Signature { return cache[profileKey(p)].sig }, topo, curves, opt)
+	root, err := buildModelTree(topo, 0, func(p cluster.Profile) model.Signature { return cache[profileKey(p)].sig }, topo, curves, opt, rootSpan)
 	if err != nil {
 		return nil, err
 	}
@@ -323,15 +347,20 @@ func NewPlanner(topo cluster.TopoNode, opt Options) (*Planner, error) {
 	// probe size, innermost tiers first, then the strategy factors ω
 	// and κ on the whole tree.
 	fitted := map[string]model.FactorCurve{}
-	if err := fitTierGammas(topo, root, fitted, opt); err != nil {
+	if err := pl.fitTierGammas(topo, root, fitted, rootSpan); err != nil {
 		return nil, err
 	}
-	omega, kappa, err := fitStrategyFactors(topo, gm, opt)
+	omega, kappa, err := pl.fitStrategyFactors(topo, gm, rootSpan)
 	if err != nil {
 		return nil, err
 	}
 	gm.OverlapGamma = omega
 	gm.GatherGamma = kappa
+	// The assembled model inherits the trace collector so predictions
+	// report which fitted curve points they interpolate; the capped
+	// probe models used during fitting stay untraced on purpose —
+	// inversion would otherwise flood the trace with internal lookups.
+	gm.Obs = opt.Trace
 	pl.Model = gm
 	return pl, nil
 }
@@ -341,14 +370,14 @@ func NewPlanner(topo cluster.TopoNode, opt Options) (*Planner, error) {
 // of the subtree's first leaf; curves caches measurements across
 // structurally identical tiers (the probe path never leaves the
 // subtree, so isomorphic subtrees measure the same curve).
-func buildModelTree(t cluster.TopoNode, base int, sigOf func(cluster.Profile) model.Signature, full cluster.TopoNode, curves map[string]model.WANModel, opt Options) (*model.ModelNode, error) {
+func buildModelTree(t cluster.TopoNode, base int, sigOf func(cluster.Profile) model.Signature, full cluster.TopoNode, curves map[string]model.WANModel, opt Options, tsp *obs.Span) (*model.ModelNode, error) {
 	if t.IsLeaf() {
 		return model.LeafNode(t.Nodes, sigOf(t.Profile)), nil
 	}
 	v := &model.ModelNode{}
 	off := base
 	for _, c := range t.Children {
-		cm, err := buildModelTree(c, off, sigOf, full, curves, opt)
+		cm, err := buildModelTree(c, off, sigOf, full, curves, opt, tsp)
 		if err != nil {
 			return nil, err
 		}
@@ -362,7 +391,7 @@ func buildModelTree(t cluster.TopoNode, base int, sigOf func(cluster.Profile) mo
 	}
 	// Probe between the first leaf of the tier's first child and the
 	// first leaf of its second child: their paths diverge at this tier.
-	wan, err := characterizeTier(full, t, base, base+t.Children[0].NumLeaves(), opt)
+	wan, err := characterizeTier(full, t, base, base+t.Children[0].NumLeaves(), opt, tsp)
 	if err != nil {
 		return nil, err
 	}
@@ -381,12 +410,17 @@ func buildModelTree(t cluster.TopoNode, base int, sigOf func(cluster.Profile) mo
 // warm world across tiers would let one probe's transport state (warmed
 // congestion windows on shared access links) bleed into the next
 // tier's curve.
-func characterizeTier(full cluster.TopoNode, node cluster.TopoNode, a, b int, opt Options) (model.WANModel, error) {
+func characterizeTier(full cluster.TopoNode, node cluster.TopoNode, a, b int, opt Options, parent *obs.Span) (model.WANModel, error) {
+	sp := parent.Span("tier.characterize",
+		obs.Str("tier", node.Name), obs.Int("height", node.Height()),
+		obs.Int("rank_a", a), obs.Int("rank_b", b))
+	defer sp.End()
 	mini := cappedTree(full, 1)
 	g, err := cluster.BuildGridTree(mini, opt.Seed+31)
 	if err != nil {
 		return model.WANModel{}, err
 	}
+	g.Env.Net.AttachCollector(opt.Trace)
 	// Sort and deduplicate defensively (validate already rejects sweeps
 	// with < 2 distinct sizes): duplicate sizes would measure curve
 	// points with equal Bytes, whose zero-width segments Transfer can
@@ -416,6 +450,7 @@ func characterizeTier(full cluster.TopoNode, node cluster.TopoNode, a, b int, op
 			}
 		}
 	})
+	addRunCounters(opt.Trace, g.Env)
 	curve := make([]model.WANPoint, 0, len(sizes))
 	for _, m := range sizes {
 		ts := times[m]
@@ -423,10 +458,13 @@ func characterizeTier(full cluster.TopoNode, node cluster.TopoNode, a, b int, op
 			return model.WANModel{}, fmt.Errorf("grid: WAN probe produced no samples for %d bytes", m)
 		}
 		mean := 0.0
-		for _, t := range ts {
+		for rep, t := range ts {
+			sp.Event("probe.wan", obs.Int("size", m), obs.Int("rep", rep), obs.F64("t_s", t))
 			mean += t
 		}
-		curve = append(curve, model.WANPoint{Bytes: m, T: mean / float64(len(ts))})
+		mean /= float64(len(ts))
+		sp.Event("wan.point", obs.Int("size", m), obs.F64("t_s", mean))
+		curve = append(curve, model.WANPoint{Bytes: m, T: mean})
 	}
 	return model.WANModel{
 		Curve: curve,
@@ -557,18 +595,20 @@ func clampGamma(v float64) float64 {
 // losses κ summarizes). The median is robust against both. Both the
 // initial fits (Simulate) and the post-selection refits (SimulateSpec,
 // internal/grid/coords.go) share this one harness, so the statistic
-// and seed set cannot drift apart.
-func probeTypical(baseSeed int64, run func(seed int64) (float64, error)) (float64, error) {
+// and seed set cannot drift apart. The raw per-seed times come back in
+// probeSeeds order for dispersion diagnostics (recordProbe).
+func probeTypical(baseSeed int64, run func(seed int64) (float64, error)) (float64, []float64, error) {
 	times := make([]float64, 0, 3)
 	for _, sd := range probeSeeds(baseSeed) {
 		one, err := run(sd)
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		times = append(times, one)
 	}
-	sort.Float64s(times)
-	return times[len(times)/2], nil
+	sorted := append([]float64(nil), times...)
+	sort.Float64s(sorted)
+	return sorted[len(sorted)/2], times, nil
 }
 
 // fitTierGammas fits every tier's flat-exchange contention-factor
@@ -576,13 +616,15 @@ func probeTypical(baseSeed int64, run func(seed int64) (float64, error)) (float6
 // flat exchanges at every probe size, and the model decomposition —
 // whose inner tiers already carry their fitted curves — is inverted
 // for the tier's residual inflation per size. Structurally identical
-// subtrees share one fit through the cache.
-func fitTierGammas(topo cluster.TopoNode, mod *model.ModelNode, cache map[string]model.FactorCurve, opt Options) error {
+// subtrees share one fit through the cache; a cache hit reuses the fit
+// without probing, so cached tiers record no span or samples.
+func (pl *Planner) fitTierGammas(topo cluster.TopoNode, mod *model.ModelNode, cache map[string]model.FactorCurve, parent *obs.Span) error {
+	opt := pl.opt
 	if topo.IsLeaf() {
 		return nil
 	}
 	for i := range topo.Children {
-		if err := fitTierGammas(topo.Children[i], mod.Children[i], cache, opt); err != nil {
+		if err := pl.fitTierGammas(topo.Children[i], mod.Children[i], cache, parent); err != nil {
 			return err
 		}
 	}
@@ -592,19 +634,23 @@ func fitTierGammas(topo cluster.TopoNode, mod *model.ModelNode, cache map[string
 		mod.Wan.Gamma = gamma
 		return nil
 	}
+	sp := parent.Span("tier.fit_gamma", obs.Str("tier", topo.Name), obs.Int("height", topo.Height()))
+	defer sp.End()
 	probeModel := model.GridModel{Root: cappedModel(mod, opt.ProbeCap)}
 	points := make([]model.FactorPoint, 0, len(opt.ProbeSizes))
 	for _, p := range opt.ProbeSizes {
-		sim, err := probeTypical(opt.Seed+53, func(sd int64) (float64, error) {
-			return Simulate(probeTopo, FlatDirect, p, sd, 1, opt.Reps)
+		sim, seedTimes, err := probeTypical(opt.Seed+53, func(sd int64) (float64, error) {
+			return simulateObs(opt.Trace, probeTopo, FlatDirect, p, sd, 1, opt.Reps)
 		})
 		if err != nil {
 			return err
 		}
+		pl.recordProbe(sp, "gamma_wan", topo.Name, "characterize", p, opt.Seed+53, seedTimes)
 		gamma := 1.0
 		if fixed, startup, rootWan := probeModel.FlatParts(p); rootWan > 0 {
 			gamma = clampGamma((sim - fixed - startup) / rootWan)
 		}
+		sp.Event("fit.point", obs.Str("factor", "gamma_wan"), obs.Int("size", p), obs.F64("value", gamma))
 		points = append(points, model.FactorPoint{Bytes: p, Factor: gamma})
 	}
 	curve := model.CurveOf(points...)
@@ -622,35 +668,48 @@ func fitTierGammas(topo cluster.TopoNode, mod *model.ModelNode, cache map[string
 //	ω  hier-direct: WAN-leg inflation from overlapped LAN traffic
 //	κ  hier-gather: coordinator-incast inflation of the synchronized
 //	   gather/scatter phases
-func fitStrategyFactors(topo cluster.TopoNode, gm model.GridModel, opt Options) (omega, kappa model.FactorCurve, err error) {
+//
+// Each probe's per-seed dispersion lands in pl.ProbeStats, and sizes
+// where the two strategies' per-seed supports overlap are flagged in
+// pl.Warnings (see ProbeWarning).
+func (pl *Planner) fitStrategyFactors(topo cluster.TopoNode, gm model.GridModel, parent *obs.Span) (omega, kappa model.FactorCurve, err error) {
+	opt := pl.opt
 	probeTopo := cappedTree(topo, opt.ProbeCap)
 	probeModel := model.GridModel{Root: cappedModel(gm.Root, opt.ProbeCap)}
+	sp := parent.Span("planner.fit_strategy", obs.Int("probe_cap", opt.ProbeCap))
+	defer sp.End()
 
 	var omegaPts, kappaPts []model.FactorPoint
 	for _, p := range opt.ProbeSizes {
-		simHD, err := probeTypical(opt.Seed+71, func(sd int64) (float64, error) {
-			return Simulate(probeTopo, HierDirect, p, sd, 1, opt.Reps)
+		simHD, hdTimes, err := probeTypical(opt.Seed+71, func(sd int64) (float64, error) {
+			return simulateObs(opt.Trace, probeTopo, HierDirect, p, sd, 1, opt.Reps)
 		})
 		if err != nil {
 			return model.FactorCurve{}, model.FactorCurve{}, err
 		}
+		pl.recordProbe(sp, "omega", "", "characterize", p, opt.Seed+71, hdTimes)
 		o := 1.0
 		if phase0, xchg, scatter := probeModel.HierDirectParts(p); xchg > 0 {
 			o = clampGamma((simHD - phase0 - scatter) / xchg)
 		}
+		sp.Event("fit.point", obs.Str("factor", "omega"), obs.Int("size", p), obs.F64("value", o))
 		omegaPts = append(omegaPts, model.FactorPoint{Bytes: p, Factor: o})
 
-		simHG, err := probeTypical(opt.Seed+89, func(sd int64) (float64, error) {
-			return Simulate(probeTopo, HierGather, p, sd, 1, opt.Reps)
+		simHG, hgTimes, err := probeTypical(opt.Seed+89, func(sd int64) (float64, error) {
+			return simulateObs(opt.Trace, probeTopo, HierGather, p, sd, 1, opt.Reps)
 		})
 		if err != nil {
 			return model.FactorCurve{}, model.FactorCurve{}, err
 		}
+		pl.recordProbe(sp, "kappa", "", "characterize", p, opt.Seed+89, hgTimes)
 		k := 1.0
 		if intra, xchg, local := probeModel.HierGatherParts(p); local > 0 {
 			k = clampGamma((simHG - intra - xchg) / local)
 		}
+		sp.Event("fit.point", obs.Str("factor", "kappa"), obs.Int("size", p), obs.F64("value", k))
 		kappaPts = append(kappaPts, model.FactorPoint{Bytes: p, Factor: k})
+
+		pl.checkOverlap(sp, "characterize", p, hdTimes, hgTimes)
 	}
 	return model.CurveOf(omegaPts...), model.CurveOf(kappaPts...), nil
 }
@@ -703,6 +762,13 @@ func (pl *Planner) BestV(sz coll.SizeMatrix) Prediction { return pl.PredictV(sz)
 // completion time in full packet-level simulation — the planner's ground
 // truth for validation.
 func Simulate(topo cluster.TopoNode, strat Strategy, m int, seed int64, warmup, reps int) (float64, error) {
+	return simulateObs(nil, topo, strat, m, seed, warmup, reps)
+}
+
+// simulateObs is Simulate with an optional trace collector: the
+// planner's probe loops route through it so probe simulations feed the
+// aggregate counters (probe count, sim events, transport recovery).
+func simulateObs(c *obs.Collector, topo cluster.TopoNode, strat Strategy, m int, seed int64, warmup, reps int) (float64, error) {
 	g, err := cluster.BuildGridTree(topo, seed)
 	if err != nil {
 		return 0, err
@@ -721,8 +787,7 @@ func Simulate(topo cluster.TopoNode, strat Strategy, m int, seed int64, warmup, 
 	default:
 		return 0, fmt.Errorf("grid: unknown strategy %v", strat)
 	}
-	w := mpi.NewWorld(g.Env, mpi.Config{})
-	return coll.Measure(w, warmup, reps, op).Mean(), nil
+	return measureEnv(c, g.Env, warmup, reps, op), nil
 }
 
 // SimulateV builds the topology and measures one strategy's irregular

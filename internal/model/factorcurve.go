@@ -84,15 +84,25 @@ func (c FactorCurve) IsZero() bool { return len(c.Points) == 0 }
 // zero-width segments (equal sizes, possible only on hand-built
 // curves) are skipped defensively rather than divided by.
 func (c FactorCurve) At(bytes int) float64 {
+	f, _, _ := c.Lookup(bytes)
+	return f
+}
+
+// Lookup returns At(bytes) together with the fitted points the lookup
+// read: the bracketing points when interpolating, the terminal (or
+// sole) point twice when extrapolating or scalar-compatible, and zero
+// points for an empty curve. Tracing uses the neighbors to show which
+// calibration measurements a prediction actually leaned on.
+func (c FactorCurve) Lookup(bytes int) (f float64, lo, hi FactorPoint) {
 	pts := c.Points
 	switch len(pts) {
 	case 0:
-		return 1
+		return 1, FactorPoint{}, FactorPoint{}
 	case 1:
-		return pts[0].Factor
+		return pts[0].Factor, pts[0], pts[0]
 	}
 	if bytes <= pts[0].Bytes {
-		return pts[0].Factor
+		return pts[0].Factor, pts[0], pts[0]
 	}
 	for i := 1; i < len(pts); i++ {
 		if bytes > pts[i].Bytes {
@@ -102,13 +112,14 @@ func (c FactorCurve) At(bytes int) float64 {
 		if b.Bytes <= a.Bytes || a.Bytes <= 0 {
 			// Zero-width or non-positive-size segment: no log-space
 			// interpolation is possible, take the nearer fitted value.
-			return b.Factor
+			return b.Factor, a, b
 		}
 		frac := math.Log(float64(bytes)/float64(a.Bytes)) /
 			math.Log(float64(b.Bytes)/float64(a.Bytes))
-		return a.Factor + frac*(b.Factor-a.Factor)
+		return a.Factor + frac*(b.Factor-a.Factor), a, b
 	}
-	return pts[len(pts)-1].Factor
+	last := pts[len(pts)-1]
+	return last.Factor, last, last
 }
 
 // Max returns the largest fitted factor (1 for an empty curve) — the

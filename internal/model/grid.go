@@ -1,6 +1,10 @@
 package model
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Grid extension of the contention model: the paper's single-cluster
 // signature T(n,m) = (n−1)(α+mβ)γ [+ (n−1)δ] composes with per-level
@@ -244,6 +248,46 @@ type GridModel struct {
 	// recovery the plain serialization term misses. Fitted from probe
 	// grids, size-indexed like OverlapGamma.
 	GatherGamma FactorCurve
+	// Obs, when non-nil, receives one factor.lookup event per
+	// contention-curve read a prediction performs — which fitted
+	// FactorCurve points the lookup interpolated, at what effective
+	// size, and the resulting factor. Nil (the default) disables
+	// tracing; predictions then pay only nil checks. The planner
+	// installs its Options.Trace collector here.
+	Obs *obs.Collector
+}
+
+// emitLookup records one factor-curve read: the curve's role, the tier
+// height it belongs to (−1 for the strategy-level ω/κ factors), the
+// effective per-pair size looked up, the clamped factor, and the fitted
+// neighbor points the interpolation read. Callers guard with
+// g.Obs != nil so disabled predictions skip the Lookup re-derivation.
+func (g GridModel) emitLookup(curve string, height int, c FactorCurve, bytes int) {
+	f, lo, hi := c.Lookup(bytes)
+	if f < 1 {
+		f = 1
+	}
+	g.Obs.Event("factor.lookup",
+		obs.Str("curve", curve), obs.Int("tier_height", height),
+		obs.Int("size", bytes), obs.F64("factor", f),
+		obs.Int("lo_bytes", lo.Bytes), obs.F64("lo_factor", lo.Factor),
+		obs.Int("hi_bytes", hi.Bytes), obs.F64("hi_factor", hi.Factor))
+}
+
+// emitFlatLookups records the per-tier γ_wan reads of a flat
+// prediction, one event per group tier in tree order.
+func (g GridModel) emitFlatLookups(m int) {
+	var walk func(v *ModelNode)
+	walk = func(v *ModelNode) {
+		if v.IsLeaf() {
+			return
+		}
+		g.emitLookup("gamma_wan", v.Height(), v.Wan.Gamma, m)
+		for _, c := range v.Children {
+			walk(c)
+		}
+	}
+	walk(g.Root)
 }
 
 // TwoLevel builds the flat two-level model (the pre-recursive GridModel
@@ -370,6 +414,9 @@ func (g GridModel) PredictFlat(m int) float64 {
 	gamma := 1.0
 	if !g.Root.IsLeaf() {
 		gamma = gammaAt(g.Root.Wan.Gamma, m)
+	}
+	if g.Obs != nil {
+		g.emitFlatLookups(m)
 	}
 	return fixed + startup + rootWan*gamma
 }
@@ -530,6 +577,9 @@ func (g GridModel) PredictHierGather(m int) float64 {
 		return 0
 	}
 	intra, xchg, local := g.HierGatherParts(m)
+	if g.Obs != nil {
+		g.emitLookup("kappa", -1, g.GatherGamma, m)
+	}
 	return intra + xchg + local*gammaAt(g.GatherGamma, m)
 }
 
@@ -565,5 +615,8 @@ func (g GridModel) PredictHierDirect(m int) float64 {
 		return 0
 	}
 	phase0, xchg, scatter := g.HierDirectParts(m)
+	if g.Obs != nil {
+		g.emitLookup("omega", -1, g.OverlapGamma, m)
+	}
 	return phase0 + xchg*gammaAt(g.OverlapGamma, m) + scatter
 }

@@ -235,6 +235,9 @@ func (g GridModel) PredictFlatV(sz coll.SizeMatrix) float64 {
 	gamma := 1.0
 	if !g.Root.IsLeaf() {
 		gamma = gammaAt(g.Root.Wan.Gamma, rootEff)
+		if g.Obs != nil {
+			g.emitLookup("gamma_wan", g.Root.Height(), g.Root.Wan.Gamma, rootEff)
+		}
 	}
 	return fixed + startup + rootWan*gamma
 }
@@ -484,6 +487,9 @@ func (g GridModel) PredictHierGatherV(sz coll.SizeMatrix) float64 {
 		return 0
 	}
 	intra, xchg, local, eff := g.hierGatherPartsV(sz)
+	if g.Obs != nil {
+		g.emitLookup("kappa", -1, g.GatherGamma, eff)
+	}
 	return intra + xchg + local*gammaAt(g.GatherGamma, eff)
 }
 
@@ -547,5 +553,8 @@ func (g GridModel) PredictHierDirectV(sz coll.SizeMatrix) float64 {
 		return 0
 	}
 	phase0, xchg, scatter, eff := g.hierDirectPartsV(sz)
+	if g.Obs != nil {
+		g.emitLookup("omega", -1, g.OverlapGamma, eff)
+	}
 	return phase0 + xchg*gammaAt(g.OverlapGamma, eff) + scatter
 }

@@ -1,6 +1,9 @@
 package netsim
 
-import "repro/internal/sim"
+import (
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
 
 // egress is one direction of a link: a FIFO output queue plus a
 // transmitter that serializes packets at the link rate and delivers them
@@ -32,6 +35,13 @@ type egress struct {
 	drops     uint64
 	maxQueue  int
 
+	// wan marks a router→router egress: a WAN tier link in grid
+	// topologies, whose byte total feeds the CtrWANBytes aggregate.
+	wan bool
+	// Live obs counter handles, nil unless AttachCollector wired them:
+	// the disabled hot path pays one nil check per packet.
+	ctrFwd, ctrDrop, ctrWanBytes *obs.Counter
+
 	drainCBs []func() // one-shot transmit-drain notifications (host NICs)
 }
 
@@ -62,6 +72,9 @@ func (e *egress) enqueue(pkt *Packet) {
 	} else {
 		if e.capBytes > 0 && e.qBytes+pkt.Size > e.capBytes {
 			e.drops++
+			if e.ctrDrop != nil {
+				e.ctrDrop.Add(1)
+			}
 			return
 		}
 		e.qBytes += pkt.Size
@@ -126,6 +139,12 @@ func (e *egress) finishTx(pkt *Packet) {
 	e.qBytes -= pkt.Size
 	e.sent++
 	e.sentBytes += uint64(pkt.Size)
+	if e.ctrFwd != nil {
+		e.ctrFwd.Add(1)
+		if e.wan {
+			e.ctrWanBytes.Add(uint64(pkt.Size))
+		}
+	}
 	if len(e.waiters) > 0 {
 		ws := e.waiters
 		e.waiters = nil

@@ -197,6 +197,7 @@ func (n *Network) connectDir(a, b *Device, cfg LinkConfig) {
 		name: fmt.Sprintf("%s->%s", a.name, b.name),
 		rate: cfg.Rate, latency: cfg.Latency,
 		owner: a, peer: b,
+		wan: a.isRouter && b.isRouter,
 	}
 	// The egress queue on device a is a's output buffer. Hosts get an
 	// unbounded output queue (the transport's window bounds it); switch

@@ -1,0 +1,69 @@
+package netsim
+
+import "repro/internal/obs"
+
+// Observability hooks. The per-egress counters (sent/drops/maxQueue)
+// have always been recorded unconditionally — they are plain integer
+// bumps on structs the simulator already owns. What the obs layer adds
+// is *live aggregation* into a shared Collector (so a planner run can
+// report total packets forwarded or dropped across dozens of throwaway
+// probe networks) and per-port event publication for traces. Both are
+// gated so a disabled collector costs the hot path exactly one nil
+// check per packet.
+
+// Aggregate counter names published by AttachCollector's handles.
+const (
+	// CtrForwarded counts packets fully serialized by any egress.
+	CtrForwarded = "netsim.pkts.forwarded"
+	// CtrDropped counts packets tail-dropped at any egress.
+	CtrDropped = "netsim.pkts.dropped"
+	// CtrWANBytes counts bytes serialized on WAN links (egresses whose
+	// both endpoints are routers — the inter-tier links ConnectPorts
+	// creates in grid topologies).
+	CtrWANBytes = "netsim.bytes.wan"
+)
+
+// AttachCollector wires every existing egress queue to the collector's
+// aggregate counters (CtrForwarded, CtrDropped, CtrWANBytes). Call it
+// after the topology is complete; egresses created later are not
+// covered. A nil collector detaches nothing and disables nothing — it
+// is simply a no-op, keeping call sites unconditional.
+func (n *Network) AttachCollector(c *obs.Collector) {
+	if c == nil {
+		return
+	}
+	fwd := c.Counter(CtrForwarded)
+	drop := c.Counter(CtrDropped)
+	wanB := c.Counter(CtrWANBytes)
+	for _, d := range n.devices {
+		for _, e := range d.egr {
+			e.ctrFwd, e.ctrDrop, e.ctrWanBytes = fwd, drop, wanB
+		}
+	}
+}
+
+// PublishPorts emits one "netsim.port" event per egress queue that
+// carried or dropped traffic: packets forwarded, bytes, tail-drops, the
+// queue-occupancy high-water mark, and whether the egress is a WAN link
+// (router→router). The scope attribute labels which run the snapshot
+// belongs to. No-op on a nil collector.
+func (n *Network) PublishPorts(c *obs.Collector, scope string) {
+	if c == nil {
+		return
+	}
+	for _, d := range n.devices {
+		for _, e := range d.egr {
+			if e.sent == 0 && e.drops == 0 {
+				continue
+			}
+			wan := 0
+			if e.wan {
+				wan = 1
+			}
+			c.Event("netsim.port",
+				obs.Str("scope", scope), obs.Str("port", e.name), obs.Int("wan", wan),
+				obs.I64("sent", int64(e.sent)), obs.I64("sent_bytes", int64(e.sentBytes)),
+				obs.I64("drops", int64(e.drops)), obs.Int("max_queue", e.maxQueue))
+		}
+	}
+}

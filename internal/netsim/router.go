@@ -65,6 +65,7 @@ func (n *Network) connectDirPort(a, b *Device, cfg LinkConfig, port PortConfig) 
 		name: fmt.Sprintf("%s->%s", a.name, b.name),
 		rate: cfg.Rate, latency: cfg.Latency,
 		owner: a, peer: b,
+		wan: a.isRouter && b.isRouter,
 	}
 	if a.isHost {
 		// Host NICs keep their unbounded queue; they only join the

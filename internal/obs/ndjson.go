@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// NDJSON export and validation. The encoder is hand-rolled so attribute
+// order is preserved exactly as recorded (encoding/json would sort map
+// keys and allocate heavily); the validator parses each line back with
+// encoding/json and checks the schema, so the two sides keep each other
+// honest in the golden tests.
+
+// WriteNDJSON writes the trace as newline-delimited JSON: every
+// recorded event in sequence order, then one synthetic "counter" line
+// per counter in name order. Safe on a nil collector (writes nothing).
+func (c *Collector) WriteNDJSON(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	buf := make([]byte, 0, 256)
+	events := c.Events()
+	for _, ev := range events {
+		buf = ev.appendJSON(buf[:0])
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	seq := int64(len(events))
+	for _, cv := range c.Counters() {
+		seq++
+		buf = buf[:0]
+		buf = append(buf, `{"seq":`...)
+		buf = strconv.AppendInt(buf, seq, 10)
+		buf = append(buf, `,"type":"counter","name":`...)
+		buf = appendJSONString(buf, cv.Name)
+		buf = append(buf, `,"value":`...)
+		buf = strconv.AppendUint(buf, cv.Value, 10)
+		buf = append(buf, '}', '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// appendJSON renders the event as one JSON object with a fixed field
+// order: seq, type, name, span/parent/dur_s as applicable, attrs.
+func (e Event) appendJSON(b []byte) []byte {
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendInt(b, e.Seq, 10)
+	b = append(b, `,"type":`...)
+	b = appendJSONString(b, e.Type)
+	b = append(b, `,"name":`...)
+	b = appendJSONString(b, e.Name)
+	if e.Span != 0 {
+		b = append(b, `,"span":`...)
+		b = strconv.AppendInt(b, e.Span, 10)
+	}
+	if e.Type == "span.start" {
+		b = append(b, `,"parent":`...)
+		b = strconv.AppendInt(b, e.Parent, 10)
+	}
+	if e.Type == "span.end" {
+		b = append(b, `,"dur_s":`...)
+		b = appendJSONFloat(b, float64(e.DurNS)/1e9)
+	}
+	if len(e.Attrs) > 0 {
+		b = append(b, `,"attrs":{`...)
+		for i, a := range e.Attrs {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendJSONString(b, a.Key)
+			b = append(b, ':')
+			switch a.kind {
+			case kindInt:
+				b = strconv.AppendInt(b, a.num, 10)
+			case kindFloat:
+				b = appendJSONFloat(b, a.f)
+			default:
+				b = appendJSONString(b, a.str)
+			}
+		}
+		b = append(b, '}')
+	}
+	return append(b, '}')
+}
+
+// appendJSONFloat renders f as a JSON number; NaN and infinities (which
+// JSON cannot express) become null so a poisoned value is visible in
+// the trace instead of corrupting it.
+func appendJSONFloat(b []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(b, `null`...)
+	}
+	return strconv.AppendFloat(b, f, 'g', -1, 64)
+}
+
+// appendJSONString renders s as a quoted JSON string, escaping quotes,
+// backslashes, and control characters.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		switch {
+		case ch == '"' || ch == '\\':
+			b = append(b, '\\', ch)
+		case ch < 0x20:
+			b = append(b, fmt.Sprintf(`\u%04x`, ch)...)
+		default:
+			b = append(b, ch)
+		}
+	}
+	return append(b, '"')
+}
+
+// ValidateNDJSON parses r as an NDJSON trace and checks every line
+// against the event schema: a JSON object with integer "seq", a known
+// "type", a non-empty "name", and the per-type required fields
+// ("span" on span lines, "dur_s" on span.end, "value" on counter).
+// It returns the number of lines validated; the error names the first
+// offending line.
+func ValidateNDJSON(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	n := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		n++
+		var m map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			return n, fmt.Errorf("line %d: not valid JSON: %v", n, err)
+		}
+		if err := validateLine(m); err != nil {
+			return n, fmt.Errorf("line %d: %v", n, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("empty trace")
+	}
+	return n, nil
+}
+
+func validateLine(m map[string]interface{}) error {
+	if _, ok := m["seq"].(float64); !ok {
+		return fmt.Errorf("missing numeric \"seq\"")
+	}
+	name, _ := m["name"].(string)
+	if name == "" {
+		return fmt.Errorf("missing \"name\"")
+	}
+	typ, _ := m["type"].(string)
+	switch typ {
+	case "span.start", "span.end":
+		if _, ok := m["span"].(float64); !ok {
+			return fmt.Errorf("%s %q: missing \"span\" id", typ, name)
+		}
+		if typ == "span.start" {
+			if _, ok := m["parent"].(float64); !ok {
+				return fmt.Errorf("span.start %q: missing \"parent\"", name)
+			}
+		} else if _, ok := m["dur_s"]; !ok {
+			return fmt.Errorf("span.end %q: missing \"dur_s\"", name)
+		}
+	case "event":
+		// span is optional (0 = top level, omitted).
+	case "counter":
+		if _, ok := m["value"].(float64); !ok {
+			return fmt.Errorf("counter %q: missing \"value\"", name)
+		}
+	default:
+		return fmt.Errorf("unknown type %q", typ)
+	}
+	if attrs, present := m["attrs"]; present {
+		if _, ok := attrs.(map[string]interface{}); !ok {
+			return fmt.Errorf("%s %q: \"attrs\" is not an object", typ, name)
+		}
+	}
+	return nil
+}
+
+// Outline renders the trace's structural skeleton, one line per event:
+// type, name, span/parent ids, and the ordered attribute keys — but no
+// values or durations. Golden tests pin the outline because it is
+// platform-stable (float formatting and timings excluded) while still
+// fixing the event schema and ordering.
+func (c *Collector) Outline() []string {
+	if c == nil {
+		return nil
+	}
+	var out []string
+	for _, ev := range c.Events() {
+		var b strings.Builder
+		b.WriteString(ev.Type)
+		b.WriteByte(' ')
+		b.WriteString(ev.Name)
+		if ev.Span != 0 {
+			fmt.Fprintf(&b, " span=%d", ev.Span)
+		}
+		if ev.Type == "span.start" {
+			fmt.Fprintf(&b, " parent=%d", ev.Parent)
+		}
+		if len(ev.Attrs) > 0 {
+			b.WriteString(" [")
+			for i, a := range ev.Attrs {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(a.Key)
+			}
+			b.WriteByte(']')
+		}
+		out = append(out, b.String())
+	}
+	for _, cv := range c.Counters() {
+		out = append(out, "counter "+cv.Name)
+	}
+	return out
+}

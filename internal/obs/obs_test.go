@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSpanNesting pins the parent/child ids recorded by nested spans
+// and the span attribution of inner events.
+func TestSpanNesting(t *testing.T) {
+	c := New()
+	c.SetClock(fakeClock())
+
+	root := c.Span("root", Str("k", "v"))
+	child := root.Span("child")
+	child.Event("inner", Int("i", 1))
+	child.End()
+	sib := root.Span("sibling")
+	sib.End(F64("total", 2.5))
+	root.End()
+	c.Event("top")
+
+	evs := c.Events()
+	want := []struct {
+		typ, name    string
+		span, parent int64
+	}{
+		{"span.start", "root", 1, 0},
+		{"span.start", "child", 2, 1},
+		{"event", "inner", 2, 0},
+		{"span.end", "child", 2, 0},
+		{"span.start", "sibling", 3, 1},
+		{"span.end", "sibling", 3, 0},
+		{"span.end", "root", 1, 0},
+		{"event", "top", 0, 0},
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("got %d events, want %d", len(evs), len(want))
+	}
+	for i, w := range want {
+		ev := evs[i]
+		if ev.Type != w.typ || ev.Name != w.name || ev.Span != w.span || ev.Parent != w.parent {
+			t.Errorf("event %d = {%s %s span=%d parent=%d}, want {%s %s span=%d parent=%d}",
+				i, ev.Type, ev.Name, ev.Span, ev.Parent, w.typ, w.name, w.span, w.parent)
+		}
+		if ev.Seq != int64(i+1) {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+	// Fake clock steps once per read: root saw more ticks than child.
+	if evs[3].DurNS <= 0 || evs[6].DurNS <= evs[3].DurNS {
+		t.Errorf("durations not monotone with nesting: child=%d root=%d", evs[3].DurNS, evs[6].DurNS)
+	}
+}
+
+// TestSpanEndIdempotent verifies double-End records one span.end.
+func TestSpanEndIdempotent(t *testing.T) {
+	c := New()
+	sp := c.Span("s")
+	sp.End()
+	sp.End()
+	n := 0
+	for _, ev := range c.Events() {
+		if ev.Type == "span.end" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("got %d span.end events, want 1", n)
+	}
+}
+
+// TestCounterAtomicity hammers one counter from many goroutines; run
+// under -race this doubles as the data-race check for the hot path.
+func TestCounterAtomicity(t *testing.T) {
+	c := New()
+	ct := c.Counter("hits")
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ct.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ct.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if same := c.Counter("hits"); same != ct {
+		t.Fatalf("Counter did not intern the handle")
+	}
+}
+
+// TestDisabledZeroAlloc proves the disabled fast path — nil collector,
+// nil span, nil counter — performs zero heap allocations, which is what
+// lets the packet hot path and prediction loops stay instrumented
+// unconditionally.
+func TestDisabledZeroAlloc(t *testing.T) {
+	var c *Collector
+	var ct *Counter
+	var sp *Span
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Event("e", Int("a", 1), F64("b", 2.5), Str("s", "x"))
+		ct.Add(3)
+		sp.Event("inner", Int("n", 7))
+		sp.End()
+		c.Add("name", 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocated %.1f times per run, want 0", allocs)
+	}
+	// An enabled counter's Add must also be allocation-free.
+	live := New().Counter("hot")
+	allocs = testing.AllocsPerRun(1000, func() { live.Add(1) })
+	if allocs != 0 {
+		t.Fatalf("enabled Counter.Add allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestWriteAndValidateNDJSON round-trips a trace through the encoder
+// and the schema validator.
+func TestWriteAndValidateNDJSON(t *testing.T) {
+	c := New()
+	c.SetClock(fakeClock())
+	sp := c.Span("phase", Str("alg", "hier-gather"), Int("m", 65536))
+	sp.Event("sample", Int("seed", 1), F64("t_s", 2.31))
+	sp.Event("weird", Str("q", `a"b\c`+"\n"))
+	sp.End(F64("median_s", 2.5))
+	c.Add("probes", 3)
+	c.Add("sim.events", 12345)
+
+	var b strings.Builder
+	if err := c.WriteNDJSON(&b); err != nil {
+		t.Fatalf("WriteNDJSON: %v", err)
+	}
+	n, err := ValidateNDJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ValidateNDJSON: %v\ntrace:\n%s", err, b.String())
+	}
+	// 4 events + 2 counter lines.
+	if n != 6 {
+		t.Fatalf("validated %d lines, want 6\ntrace:\n%s", n, b.String())
+	}
+	if !strings.Contains(b.String(), `"probes","value":3`) {
+		t.Errorf("counter line missing:\n%s", b.String())
+	}
+}
+
+// TestValidateNDJSONRejects spot-checks the validator's failure modes.
+func TestValidateNDJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":     `{"seq":1,`,
+		"no name":      `{"seq":1,"type":"event"}`,
+		"bad type":     `{"seq":1,"type":"mystery","name":"x"}`,
+		"no span id":   `{"seq":1,"type":"span.start","name":"x","parent":0}`,
+		"no dur":       `{"seq":1,"type":"span.end","name":"x","span":1}`,
+		"no value":     `{"seq":1,"type":"counter","name":"x"}`,
+		"attrs scalar": `{"seq":1,"type":"event","name":"x","attrs":3}`,
+		"empty":        "",
+	}
+	for label, line := range cases {
+		if _, err := ValidateNDJSON(strings.NewReader(line)); err == nil {
+			t.Errorf("%s: validator accepted %q", label, line)
+		}
+	}
+}
+
+// TestReset verifies Reset clears events and zeroes counters while
+// keeping interned handles usable.
+func TestReset(t *testing.T) {
+	c := New()
+	ct := c.Counter("n")
+	ct.Add(5)
+	c.Event("e")
+	c.Reset()
+	if len(c.Events()) != 0 || ct.Value() != 0 {
+		t.Fatalf("Reset left events=%d counter=%d", len(c.Events()), ct.Value())
+	}
+	ct.Add(2)
+	c.Event("again")
+	if got := c.Events(); len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("post-Reset events = %+v", got)
+	}
+}
+
+// fakeClock returns a deterministic stepping clock: each read advances
+// one millisecond.
+func fakeClock() func() int64 {
+	var t int64
+	return func() int64 {
+		t += 1e6
+		return t
+	}
+}

@@ -1,0 +1,121 @@
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// HBar renders a labeled horizontal bar chart — one bar per value,
+// scaled to the largest — used for per-phase timing breakdowns.
+// Labels and values must have equal length; non-finite or negative
+// values render as empty bars. Values are annotated with %.3g.
+func HBar(title string, labels []string, values []float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(labels) == 0 || len(labels) != len(values) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	lw := labelWidth(labels)
+	max := 0.0
+	for _, v := range values {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) && v > max {
+			max = v
+		}
+	}
+	for i, l := range labels {
+		v := values[i]
+		n := 0
+		if max > 0 && !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0 {
+			n = int(v / max * float64(width))
+			if n == 0 {
+				n = 1 // nonzero values always show
+			}
+		}
+		fmt.Fprintf(&b, "%s |%-*s| %.3g\n", padLabel(l, lw), width, strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// Intervals renders labeled min–mid–max ranges on a shared horizontal
+// axis — one row per entry, the range as a dashed segment with the mid
+// marked 'o' — used for probe per-seed dispersion. All four slices
+// must have equal length; rows with non-finite endpoints render empty.
+func Intervals(title string, labels []string, lo, mid, hi []float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(labels) == 0 || len(labels) != len(lo) || len(labels) != len(mid) || len(labels) != len(hi) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for i := range lo {
+		if finite(lo[i]) && finite(hi[i]) {
+			min = math.Min(min, lo[i])
+			max = math.Max(max, hi[i])
+		}
+	}
+	if math.IsInf(min, 1) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if max == min {
+		max = min + 1
+	}
+	col := func(v float64) int {
+		c := int((v - min) / (max - min) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	lw := labelWidth(labels)
+	for i, l := range labels {
+		row := []byte(strings.Repeat(" ", width))
+		if finite(lo[i]) && finite(hi[i]) && finite(mid[i]) {
+			a, z := col(lo[i]), col(hi[i])
+			for c := a; c <= z; c++ {
+				row[c] = '-'
+			}
+			row[a], row[z] = '|', '|'
+			row[col(mid[i])] = 'o'
+		}
+		fmt.Fprintf(&b, "%s |%s| %.3g/%.3g/%.3g\n", padLabel(l, lw), string(row), lo[i], mid[i], hi[i])
+	}
+	fmt.Fprintf(&b, "%s  %-*.3g%*.3g\n", padLabel("", lw), width/2, min, width-width/2, max)
+	return b.String()
+}
+
+// finite reports whether v is a usable plot coordinate.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// padLabel right-pads a label to w runes. fmt's %-*s pads by byte
+// count, which misaligns the Greek factor names (γ, ω, κ).
+func padLabel(l string, w int) string {
+	if n := len([]rune(l)); n < w {
+		return l + strings.Repeat(" ", w-n)
+	}
+	return l
+}
+
+// labelWidth returns the widest label's rune count, for column
+// alignment.
+func labelWidth(labels []string) int {
+	w := 0
+	for _, l := range labels {
+		if n := len([]rune(l)); n > w {
+			w = n
+		}
+	}
+	return w
+}

@@ -1,0 +1,89 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHBarScalesToMax(t *testing.T) {
+	out := HBar("phases", []string{"intra", "leaf-gather"}, []float64{1, 2}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[2], strings.Repeat("#", 10)) {
+		t.Errorf("max bar not full width: %q", lines[2])
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 5)) || strings.Contains(lines[1], strings.Repeat("#", 6)) {
+		t.Errorf("half bar not half width: %q", lines[1])
+	}
+	for _, ln := range lines[1:] {
+		if !strings.HasPrefix(ln, "intra") && !strings.HasPrefix(ln, "leaf-gather") {
+			t.Errorf("row missing label: %q", ln)
+		}
+	}
+}
+
+func TestHBarSmallNonzeroShows(t *testing.T) {
+	out := HBar("t", []string{"a", "b"}, []float64{0.001, 100}, 10)
+	row := strings.Split(out, "\n")[1]
+	if !strings.Contains(row, "#") {
+		t.Errorf("tiny nonzero value rendered no bar: %q", row)
+	}
+}
+
+func TestHBarDegenerate(t *testing.T) {
+	for _, out := range []string{
+		HBar("t", nil, nil, 10),
+		HBar("t", []string{"a"}, []float64{1, 2}, 10),
+	} {
+		if !strings.Contains(out, "(no data)") {
+			t.Errorf("degenerate input did not render (no data): %q", out)
+		}
+	}
+	out := HBar("t", []string{"a"}, []float64{math.NaN()}, 10)
+	if strings.Contains(out, "#") {
+		t.Errorf("NaN value rendered a bar: %q", out)
+	}
+}
+
+func TestIntervalsMarksEndpointsAndMid(t *testing.T) {
+	out := Intervals("probes", []string{"ω@64k", "hd@64k"},
+		[]float64{0, 2}, []float64{1, 3}, []float64{2, 4}, 21)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), out)
+	}
+	row := lines[1]
+	if !strings.Contains(row, "|") || !strings.Contains(row, "o") || !strings.Contains(row, "-") {
+		t.Errorf("row missing endpoint/mid/segment marks: %q", row)
+	}
+	// Axis spans the pooled range [0, 4].
+	axis := lines[3]
+	if !strings.Contains(axis, "0") || !strings.Contains(axis, "4") {
+		t.Errorf("axis does not show pooled range: %q", axis)
+	}
+	// Multibyte labels must still align the left gutter by runes.
+	runeIdx := func(s string) int {
+		return len([]rune(s[:strings.Index(s, "|")]))
+	}
+	if runeIdx(lines[1]) != runeIdx(lines[2]) {
+		t.Errorf("gutter misaligned between rows:\n%q\n%q", lines[1], lines[2])
+	}
+}
+
+func TestIntervalsDegenerate(t *testing.T) {
+	if out := Intervals("t", []string{"a"}, []float64{1}, []float64{1}, nil, 10); !strings.Contains(out, "(no data)") {
+		t.Errorf("mismatched lengths did not render (no data): %q", out)
+	}
+	inf := math.Inf(1)
+	if out := Intervals("t", []string{"a"}, []float64{inf}, []float64{inf}, []float64{inf}, 10); !strings.Contains(out, "(no data)") {
+		t.Errorf("all-non-finite did not render (no data): %q", out)
+	}
+	// Zero-width pooled range must not divide by zero.
+	out := Intervals("t", []string{"a"}, []float64{2}, []float64{2}, []float64{2}, 10)
+	if !strings.Contains(out, "o") {
+		t.Errorf("point interval did not render mid marker: %q", out)
+	}
+}
