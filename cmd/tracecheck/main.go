@@ -4,30 +4,133 @@
 // event of a known type with its required fields. Exits nonzero on the
 // first malformed line, so CI can gate on trace well-formedness.
 //
+// Beyond schema validation, repeatable -counter flags assert on the
+// trace's final counter values, so CI can also gate on behavior — e.g.
+// that a warm-store planner run characterized nothing:
+//
+//	tracecheck -counter planner.probes=0 -counter store.miss=0 \
+//	           -counter 'store.hit>=1' trace.ndjson
+//
+// An assertion is either an exact match (name=value) or a lower bound
+// (name>=value). A counter absent from the trace has value 0 — traces
+// only carry counters that were actually fed.
+//
 // Usage:
 //
-//	tracecheck trace.ndjson
+//	tracecheck [-counter name=value]... <trace.ndjson|->
 //	gridplanner -trace /dev/stdout | tracecheck -
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/obs"
 )
 
+// counterAssertion is one parsed -counter flag.
+type counterAssertion struct {
+	name  string
+	value uint64
+	min   bool // true for name>=value, false for name=value
+}
+
+// assertionList collects repeated -counter flags.
+type assertionList []counterAssertion
+
+func (l *assertionList) String() string {
+	var parts []string
+	for _, a := range *l {
+		op := "="
+		if a.min {
+			op = ">="
+		}
+		parts = append(parts, fmt.Sprintf("%s%s%d", a.name, op, a.value))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (l *assertionList) Set(s string) error {
+	a, err := parseAssertion(s)
+	if err != nil {
+		return err
+	}
+	*l = append(*l, a)
+	return nil
+}
+
+// parseAssertion parses "name=value" or "name>=value".
+func parseAssertion(s string) (counterAssertion, error) {
+	op, min := "=", false
+	if strings.Contains(s, ">=") {
+		op, min = ">=", true
+	}
+	name, val, ok := strings.Cut(s, op)
+	if !ok || name == "" {
+		return counterAssertion{}, fmt.Errorf("want name=value or name>=value, got %q", s)
+	}
+	v, err := strconv.ParseUint(val, 10, 64)
+	if err != nil {
+		return counterAssertion{}, fmt.Errorf("bad counter value in %q: %v", s, err)
+	}
+	return counterAssertion{name: name, value: v, min: min}, nil
+}
+
+// traceCounters extracts the final counter values from a validated
+// trace: the synthetic "counter" lines WriteNDJSON appends per fed
+// counter. Counters never mentioned are implicitly 0.
+func traceCounters(trace []byte) (map[string]uint64, error) {
+	out := map[string]uint64{}
+	sc := bufio.NewScanner(bytes.NewReader(trace))
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var m struct {
+			Type  string  `json:"type"`
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		}
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			return nil, err
+		}
+		if m.Type == "counter" {
+			out[m.Name] = uint64(m.Value)
+		}
+	}
+	return out, sc.Err()
+}
+
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.ndjson|->")
+	var asserts assertionList
+	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
+	fs.Var(&asserts, "counter", "assert a final counter value, name=value or name>=value (repeatable; absent counters are 0)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-counter name=value]... <trace.ndjson|->")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	arg := fs.Arg(0)
 	var r io.Reader
-	if os.Args[1] == "-" {
+	if arg == "-" {
 		r = os.Stdin
 	} else {
-		f, err := os.Open(os.Args[1])
+		f, err := os.Open(arg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
 			os.Exit(1)
@@ -35,10 +138,41 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	n, err := obs.ValidateNDJSON(r)
+	// The validator and the counter scan each need the full stream;
+	// buffer it once so "-" works for both.
+	trace, err := io.ReadAll(r)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("trace ok: %d lines\n", n)
+	n, err := obs.ValidateNDJSON(bytes.NewReader(trace))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+		os.Exit(1)
+	}
+	counters, err := traceCounters(trace)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+		os.Exit(1)
+	}
+	failed := 0
+	for _, a := range asserts {
+		got := counters[a.name]
+		ok, op := got == a.value, "="
+		if a.min {
+			ok, op = got >= a.value, ">="
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tracecheck: counter %s is %d, want %s%d\n", a.name, got, op, a.value)
+			failed++
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("trace ok: %d lines", n)
+	if len(asserts) > 0 {
+		fmt.Printf(", %d counter assertions", len(asserts))
+	}
+	fmt.Println()
 }

@@ -39,6 +39,7 @@ type candidate struct {
 
 func main() {
 	traceOut := flag.String("trace", "", "write an NDJSON observability trace of the run to this file")
+	storePath := flag.String("store", "", "persist fitted characterization curves to this JSON file (loaded if present, written back after the run)")
 	flag.Parse()
 	// The trace collector threads through every planner characterization
 	// and the traced validation runs below; nil (no -trace) disables all
@@ -46,6 +47,24 @@ func main() {
 	var tc *obs.Collector
 	if *traceOut != "" {
 		tc = obs.New()
+	}
+
+	// With -store, fitted curves persist across runs: the first run
+	// characterizes every deployment and writes the store; later runs
+	// load it and predict without a single probe (check with
+	// -trace + tracecheck -counter planner.probes=0). See docs/SERVICE.md.
+	var store *grid.CurveStore
+	if *storePath != "" {
+		if f, err := os.Open(*storePath); err == nil {
+			store, err = grid.ReadCurveStore(f)
+			f.Close()
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("loaded characterization store %s (%d records)\n\n", *storePath, store.Len())
+		} else if !os.IsNotExist(err) {
+			panic(err)
+		}
 	}
 
 	// Workload: an iterative solver doing 30 All-to-All exchanges of
@@ -97,18 +116,26 @@ func main() {
 	fmt.Printf("%-12s %6s %6s %12s %13s %10s %9s\n",
 		"grid", "levels", "nodes", "best_strat", "comm_time_s", "meets_dl", "cost_EUR/h")
 
+	// All planning runs through one Service: each topology is
+	// characterized at most once (or not at all when the store already
+	// has its curves), and the fits land in the shared store.
+	svc, err := grid.NewServiceWithStore(grid.Options{FitN: 6, Reps: 1, Trace: tc}, store)
+	if err != nil {
+		panic(err)
+	}
+
 	bestCost, bestDesc := -1.0, ""
 	var widePlanner, threePlanner *grid.Planner
 	for _, c := range cands {
 		// Characterize each member network and each WAN tier once; the
 		// model then predicts any message size on this topology.
-		pl, err := grid.NewPlanner(c.topo, grid.Options{FitN: 6, Reps: 1, Trace: tc})
+		pl, err := svc.PlannerFor(c.topo)
 		if err != nil {
 			panic(err)
 		}
 		// Pick coordinators from the probed headroom before ranking:
 		// hierarchical predictions then price the selected relay.
-		choices, err := pl.SelectCoordinators(msgSize)
+		choices, err := svc.SelectCoordinators(c.topo, msgSize)
 		if err != nil {
 			panic(err)
 		}
@@ -217,6 +244,20 @@ func main() {
 	})
 	fmt.Printf("one simulated %s exchange of the hotspot matrix (%d B total): %.2fs\n",
 		vplan.Alg, hotspot.Total(), measV.Mean())
+
+	if *storePath != "" {
+		f, err := os.Create(*storePath)
+		if err != nil {
+			panic(err)
+		}
+		if err := svc.SaveStore(f); err != nil {
+			panic(err)
+		}
+		if err := f.Close(); err != nil {
+			panic(err)
+		}
+		fmt.Printf("\ncharacterization store (%d records) written to %s\n", svc.Store().Len(), *storePath)
+	}
 
 	if tc != nil {
 		f, err := os.Create(*traceOut)

@@ -40,6 +40,101 @@ func BenchmarkNewPlanner(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceWarm measures a warm-start planner build: a fresh
+// Service over a store another service already filled — the new-process
+// path of characterize once, predict many. probes/op is the headline
+// metric and must be 0: a warm build that probes even once means a
+// store key stopped matching. storehits/op counts the records reused.
+func BenchmarkServiceWarm(b *testing.B) {
+	topo := testTopo()
+	c := obs.New()
+	opt := cheapOptions()
+	opt.Trace = c
+	cold, err := NewService(opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := cold.PlannerFor(topo); err != nil {
+		b.Fatal(err)
+	}
+	store := cold.Store()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Reset()
+		svc, err := NewServiceWithStore(opt, store)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pl, err := svc.PlannerFor(topo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if preds := pl.Predict(48 << 10); len(preds) != 3 {
+			b.Fatalf("got %d predictions", len(preds))
+		}
+	}
+	b.StopTimer()
+	// The last iteration's counters (Reset zeroes them each round).
+	probes := 0.0
+	for _, cv := range c.Counters() {
+		switch cv.Name {
+		case CtrProbes:
+			probes = float64(cv.Value)
+		case CtrStoreHit:
+			b.ReportMetric(float64(cv.Value), "storehits/op")
+		}
+	}
+	b.ReportMetric(probes, "probes/op")
+	if probes != 0 {
+		b.Fatalf("warm service build ran %v probes, want 0", probes)
+	}
+}
+
+// BenchmarkServiceConcurrent measures the steady state the service
+// exists for: many goroutines predicting concurrently against one
+// warmed planner, regular and irregular sizes mixed. No probes may run
+// after the warmup (probes/op reports the total over the whole parallel
+// phase, and must be 0).
+func BenchmarkServiceConcurrent(b *testing.B) {
+	topo := testTopo()
+	c := obs.New()
+	opt := cheapOptions()
+	opt.Trace = c
+	svc, err := NewService(opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := svc.PlannerFor(topo); err != nil {
+		b.Fatal(err)
+	}
+	sz := coll.SizeMatrixFromRows(cluster.BlockDiagonalBytes(topo, 256<<10, 4<<10))
+	warmProbes := counterValue(c, CtrProbes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%2 == 0 {
+				if _, err := svc.Predict(topo, 48<<10); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				if _, err := svc.PredictV(topo, sz); err != nil {
+					b.Fatal(err)
+				}
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	probes := float64(counterValue(c, CtrProbes) - warmProbes)
+	b.ReportMetric(probes, "probes/op")
+	if probes != 0 {
+		b.Fatalf("concurrent predictions ran %v probes, want 0", probes)
+	}
+}
+
 // BenchmarkPredictV measures irregular prediction with observability
 // disabled (nil collector) — the configuration whose cost must not
 // regress against the pre-observability planner. The skewed workload

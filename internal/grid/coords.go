@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/coll"
@@ -490,6 +491,18 @@ func (pl *Planner) refitStrategyFactors(choices []CoordChoice) error {
 		capped[l] = cc
 	}
 
+	// Refits cache under the topology plus the capped selection: the
+	// probe spec and the inverted probe model depend on nothing else
+	// (headroom rates are themselves store-cached and deterministic
+	// under the bound options), so a second process planning the same
+	// selection restores the refit without a single probe.
+	rkey := "R|" + topoKey(pl.Topo) + "|" + selectionKey(capped)
+	if rec, ok := pl.sv.strategy(sp, rkey); ok {
+		pl.Model.OverlapGamma = rec.Omega
+		pl.Model.GatherGamma = rec.Kappa
+		return nil
+	}
+
 	probeRoot := cappedModel(pl.Model.Root, capN)
 	for l, lf := range probeRoot.Leaves() {
 		if capped[l].Default {
@@ -510,7 +523,7 @@ func (pl *Planner) refitStrategyFactors(choices []CoordChoice) error {
 
 	var omegaPts, kappaPts []model.FactorPoint
 	for _, p := range pl.opt.ProbeSizes {
-		simHD, hdTimes, err := probeTypical(pl.opt.Seed+71, func(sd int64) (float64, error) {
+		simHD, hdTimes, err := probeTypical(pl.opt.Seed+71, pl.opt.StableSpread, func(sd int64) (float64, error) {
 			return simulateSpecObs(pl.opt.Trace, probeTopo, spec, coll.HierDirect, p, sd, 1, pl.opt.Reps)
 		})
 		if err != nil {
@@ -524,7 +537,7 @@ func (pl *Planner) refitStrategyFactors(choices []CoordChoice) error {
 		sp.Event("fit.point", obs.Str("factor", "omega"), obs.Int("size", p), obs.F64("value", o))
 		omegaPts = append(omegaPts, model.FactorPoint{Bytes: p, Factor: o})
 
-		simHG, hgTimes, err := probeTypical(pl.opt.Seed+89, func(sd int64) (float64, error) {
+		simHG, hgTimes, err := probeTypical(pl.opt.Seed+89, pl.opt.StableSpread, func(sd int64) (float64, error) {
 			return simulateSpecObs(pl.opt.Trace, probeTopo, spec, coll.HierGather, p, sd, 1, pl.opt.Reps)
 		})
 		if err != nil {
@@ -542,7 +555,32 @@ func (pl *Planner) refitStrategyFactors(choices []CoordChoice) error {
 	}
 	pl.Model.OverlapGamma = model.CurveOf(omegaPts...)
 	pl.Model.GatherGamma = model.CurveOf(kappaPts...)
+	pl.sv.putStrategy(rkey, storedStrategy{Omega: pl.Model.OverlapGamma, Kappa: pl.Model.GatherGamma})
 	return nil
+}
+
+// selectionKey renders a capped coordinator selection as a refit cache
+// key component: per leaf, "d" for a kept default or the chosen local
+// node indices. Leaves render in tree order, so structurally identical
+// selections share a key.
+func selectionKey(choices []CoordChoice) string {
+	var b strings.Builder
+	for l, ch := range choices {
+		if l > 0 {
+			b.WriteByte(';')
+		}
+		if ch.Default {
+			b.WriteByte('d')
+			continue
+		}
+		for i, n := range ch.Local {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", n)
+		}
+	}
+	return b.String()
 }
 
 // SimulateSpec builds the topology and measures one hierarchical

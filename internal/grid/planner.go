@@ -20,6 +20,7 @@ package grid
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -88,10 +89,11 @@ type Options struct {
 	// curves — the scalar-factor model, whose lookups are
 	// size-independent and pinned bit-identical to the pre-curve
 	// predictions at the model level (the fitted values themselves come
-	// from the median-of-three-seeds probes below, not the pre-curve
-	// single-seed probe). Every probe runs over three seeds and fits
-	// the median run, stabilizing the fits — and with them the
-	// flat-vs-hier crossover — against heavy-tailed loss-recovery
+	// from the multi-seed median probes below, not the pre-curve
+	// single-seed probe). Every probe runs at least three seeds and
+	// fits the median run — extending to five when the first three
+	// disperse past StableSpread — stabilizing the fits, and with them
+	// the flat-vs-hier crossover, against heavy-tailed loss-recovery
 	// draws (see probeTypical).
 	ProbeSizes []int
 	// ProbeSize is the per-pair message size of the per-node headroom
@@ -108,6 +110,15 @@ type Options struct {
 	Reps int
 	// Seed drives the characterization simulations.
 	Seed int64
+	// StableSpread is the stop-when-stable threshold of the
+	// contention-factor probes (default 0.5): each probe runs three
+	// seeds, and only when the per-seed spread (max−min) exceeds
+	// StableSpread × median — the probe.unstable dispersion signal —
+	// does it sample the two extra seeds (bounded at five, median of
+	// all). Stable probes stay at three samples; seed-lottery cases
+	// (overlapping strategy supports, RTO-noisy sizes) buy a wider
+	// median. Must be positive and finite.
+	StableSpread float64
 	// Trace, when non-nil, collects the characterization's spans and
 	// events (per-tier WAN probes, per-seed factor-probe samples and
 	// dispersion, fitted curve points) plus aggregate counters (probe
@@ -145,6 +156,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.StableSpread == 0 {
+		o.StableSpread = 0.5
 	}
 	o.FitSizes = sortedDistinct(o.FitSizes)
 	o.WANSizes = sortedDistinct(o.WANSizes)
@@ -194,17 +208,38 @@ func (o Options) validate() error {
 	if o.ProbeSize <= 0 {
 		return fmt.Errorf("grid: ProbeSize %d is not positive", o.ProbeSize)
 	}
+	if o.StableSpread <= 0 || math.IsNaN(o.StableSpread) || math.IsInf(o.StableSpread, 0) {
+		return fmt.Errorf("grid: StableSpread %v is not a positive finite threshold", o.StableSpread)
+	}
 	return nil
 }
 
-// probeSeeds returns the seeds a contention-factor probe runs over
-// (probeTypical keeps the median): three at every size — lossy-TCP
-// WAN completion is seed-sensitive everywhere, worst in the RTO-noisy
-// small bracket (≤ 32 KiB, docs/MODEL.md §6), and a median needs an
-// odd sample.
-func probeSeeds(base int64) []int64 {
-	return []int64{base, base + 97, base + 193}
+// fingerprint renders the characterization-relevant options as the
+// store's compatibility key: two planners may share fitted curves only
+// when every probe sweep, cap, and seed matches — the fitted values are
+// functions of all of them. Trace is excluded (tracing never perturbs
+// fits; see TestTracingDoesNotPerturbResults). Call after withDefaults.
+func (o Options) fingerprint() string {
+	return fmt.Sprintf("fitn=%d fit=%v wan=%v probes=%v psize=%d pcap=%d maxc=%d reps=%d seed=%d stable=%g",
+		o.FitN, o.FitSizes, o.WANSizes, o.ProbeSizes, o.ProbeSize, o.ProbeCap,
+		o.MaxCoords, o.Reps, o.Seed, o.StableSpread)
 }
+
+// probeSeeds returns the candidate seeds a contention-factor probe may
+// run over, in execution order (probeTypical keeps the median of the
+// seeds it actually ran): the first three always run — lossy-TCP WAN
+// completion is seed-sensitive everywhere, worst in the RTO-noisy
+// small bracket (≤ 32 KiB, docs/MODEL.md §6), and a median needs an
+// odd sample — and the last two only when the first three disperse
+// past Options.StableSpread. The offsets are fixed primes so the same
+// base seed reproduces the same samples in any process.
+func probeSeeds(base int64) []int64 {
+	return []int64{base, base + 97, base + 193, base + 389, base + 577}
+}
+
+// probeSeedsInitial is how many probeSeeds entries every probe runs;
+// the remainder run only on an unstable first dispersion.
+const probeSeedsInitial = 3
 
 // Planner predicts and ranks grid All-to-All strategies.
 type Planner struct {
@@ -232,6 +267,11 @@ type Planner struct {
 	ProbeStats []ProbeStat
 
 	opt Options
+	// sv is the build's window onto the optional CurveStore (always
+	// non-nil; inert without a store). Kept on the planner so the
+	// post-selection refit (coords.go) shares the same cache and
+	// hit/miss accounting as the initial characterization.
+	sv *storeView
 }
 
 // NewPlanner characterizes every member network and every WAN tier of
@@ -239,9 +279,31 @@ type Planner struct {
 // (uniform grids) are characterized once, as are structurally identical
 // subtrees during contention-factor fitting.
 func NewPlanner(topo cluster.TopoNode, opt Options) (*Planner, error) {
+	return newPlannerWithStore(topo, opt, nil)
+}
+
+// newPlannerWithStore is NewPlanner against an optional persistent
+// CurveStore: every characterization artifact — leaf Hockney+signature
+// fits, per-node headroom, per-tier WAN curves, fitted γ_wan and ω/κ
+// curves — is looked up in the store before probing and written back
+// after, with store.hit/store.miss events and counters per record kind
+// (so planner.probes stays the cache-regression signal: a fully warm
+// store builds a planner with zero probe simulations). A nil store
+// degrades to today's NewPlanner exactly. The simulations behind every
+// record are deterministic in (topology, Options), so a warm build's
+// fitted values are bit-identical to a cold build's — the property the
+// service tests pin.
+func newPlannerWithStore(topo cluster.TopoNode, opt Options, st *CurveStore) (*Planner, error) {
 	opt = opt.withDefaults()
 	if err := opt.validate(); err != nil {
 		return nil, err
+	}
+	if st != nil {
+		// Fitted values are functions of the probe configuration: refuse
+		// to serve one configuration's curves to another.
+		if err := st.bind(opt.fingerprint()); err != nil {
+			return nil, err
+		}
 	}
 	if err := topo.Validate(); err != nil {
 		return nil, err
@@ -271,7 +333,7 @@ func NewPlanner(topo cluster.TopoNode, opt Options) (*Planner, error) {
 		return nil, err
 	}
 
-	pl := &Planner{Topo: topo, opt: opt}
+	pl := &Planner{Topo: topo, opt: opt, sv: &storeView{st: st, c: opt.Trace}}
 	rootSpan := opt.Trace.Span("planner.characterize",
 		obs.Str("topo", topo.Name), obs.Int("leaves", topo.NumLeaves()),
 		obs.Int("nodes", topo.TotalNodes()))
@@ -288,6 +350,10 @@ func NewPlanner(topo cluster.TopoNode, opt Options) (*Planner, error) {
 	for _, lf := range topo.Leaves() {
 		p := lf.Profile
 		if _, ok := cache[profileKey(p)]; ok {
+			continue
+		}
+		if rec, ok := pl.sv.leaf(rootSpan, profileKey(p)); ok {
+			cache[profileKey(p)] = charac{h: rec.Hockney, sig: rec.Signature}
 			continue
 		}
 		sp := rootSpan.Span("planner.leaf_fit", obs.Str("profile", p.Name), obs.Int("fit_n", opt.FitN))
@@ -308,6 +374,7 @@ func NewPlanner(topo cluster.TopoNode, opt Options) (*Planner, error) {
 		}
 		sp.End()
 		cache[profileKey(p)] = charac{h: h, sig: sig}
+		pl.sv.putLeaf(profileKey(p), storedLeaf{Hockney: h, Signature: sig})
 	}
 	for _, lf := range topo.Leaves() {
 		pl.Hockney = append(pl.Hockney, cache[profileKey(lf.Profile)].h)
@@ -324,7 +391,12 @@ func NewPlanner(topo cluster.TopoNode, opt Options) (*Planner, error) {
 		key := fmt.Sprintf("%s|%d", profileKey(lf.Profile), lf.Nodes)
 		rates, ok := hrCache[key]
 		if !ok {
-			rates = probeHeadroom(lf.Profile, lf.Nodes, opt)
+			if stored, hit := pl.sv.headroom(rootSpan, key); hit {
+				rates = stored
+			} else {
+				rates = probeHeadroom(lf.Profile, lf.Nodes, opt)
+				pl.sv.putHeadroom(key, rates)
+			}
 			hrCache[key] = rates
 		}
 		pl.Headroom = append(pl.Headroom, rates)
@@ -334,7 +406,7 @@ func NewPlanner(topo cluster.TopoNode, opt Options) (*Planner, error) {
 	// measured on minimal instances of the grid. Structurally identical
 	// tiers share one measured curve through the cache.
 	curves := map[string]model.WANModel{}
-	root, err := buildModelTree(topo, 0, func(p cluster.Profile) model.Signature { return cache[profileKey(p)].sig }, topo, curves, opt, rootSpan)
+	root, err := buildModelTree(topo, 0, func(p cluster.Profile) model.Signature { return cache[profileKey(p)].sig }, topo, curves, opt, pl.sv, rootSpan)
 	if err != nil {
 		return nil, err
 	}
@@ -356,6 +428,10 @@ func NewPlanner(topo cluster.TopoNode, opt Options) (*Planner, error) {
 	}
 	gm.OverlapGamma = omega
 	gm.GatherGamma = kappa
+	// A build that mixed hits and misses is an incremental re-fit: it
+	// re-probed only the records the store lacked (e.g. one invalidated
+	// tier) and reused every other cached curve.
+	pl.sv.noteRefit(rootSpan)
 	// The assembled model inherits the trace collector so predictions
 	// report which fitted curve points they interpolate; the capped
 	// probe models used during fitting stay untraced on purpose —
@@ -370,14 +446,14 @@ func NewPlanner(topo cluster.TopoNode, opt Options) (*Planner, error) {
 // of the subtree's first leaf; curves caches measurements across
 // structurally identical tiers (the probe path never leaves the
 // subtree, so isomorphic subtrees measure the same curve).
-func buildModelTree(t cluster.TopoNode, base int, sigOf func(cluster.Profile) model.Signature, full cluster.TopoNode, curves map[string]model.WANModel, opt Options, tsp *obs.Span) (*model.ModelNode, error) {
+func buildModelTree(t cluster.TopoNode, base int, sigOf func(cluster.Profile) model.Signature, full cluster.TopoNode, curves map[string]model.WANModel, opt Options, sv *storeView, tsp *obs.Span) (*model.ModelNode, error) {
 	if t.IsLeaf() {
 		return model.LeafNode(t.Nodes, sigOf(t.Profile)), nil
 	}
 	v := &model.ModelNode{}
 	off := base
 	for _, c := range t.Children {
-		cm, err := buildModelTree(c, off, sigOf, full, curves, opt, tsp)
+		cm, err := buildModelTree(c, off, sigOf, full, curves, opt, sv, tsp)
 		if err != nil {
 			return nil, err
 		}
@@ -389,6 +465,15 @@ func buildModelTree(t cluster.TopoNode, base int, sigOf func(cluster.Profile) mo
 		v.Wan = wan
 		return v, nil
 	}
+	if rec, ok := sv.tier(tsp, key); ok {
+		// The stored record carries the measured curve only; Gamma stays
+		// the identity curve until fitTierGammas fits (or restores) it,
+		// exactly as after a fresh characterizeTier.
+		wan := model.WANModel{Curve: rec.Curve, BetaWire: rec.BetaWire}
+		curves[key] = wan
+		v.Wan = wan
+		return v, nil
+	}
 	// Probe between the first leaf of the tier's first child and the
 	// first leaf of its second child: their paths diverge at this tier.
 	wan, err := characterizeTier(full, t, base, base+t.Children[0].NumLeaves(), opt, tsp)
@@ -396,6 +481,7 @@ func buildModelTree(t cluster.TopoNode, base int, sigOf func(cluster.Profile) mo
 		return nil, err
 	}
 	curves[key] = wan
+	sv.putTier(key, storedTier{Curve: wan.Curve, BetaWire: wan.BetaWire})
 	v.Wan = wan
 	return v, nil
 }
@@ -586,25 +672,46 @@ func clampGamma(v float64) float64 {
 	return v
 }
 
-// probeTypical runs one probe simulation (the closure) once per
-// probeSeeds seed and keeps the median run. Completion times on lossy
-// WANs are heavy-tailed upward — a single retransmission timeout adds
-// whole RTO periods — so a mean bakes one seed's tail draw into every
-// prediction, while a minimum discards the systematic loss recovery
-// the factors exist to price (an incast's "lucky" run dodges the very
-// losses κ summarizes). The median is robust against both. Both the
-// initial fits (Simulate) and the post-selection refits (SimulateSpec,
-// internal/grid/coords.go) share this one harness, so the statistic
-// and seed set cannot drift apart. The raw per-seed times come back in
-// probeSeeds order for dispersion diagnostics (recordProbe).
-func probeTypical(baseSeed int64, run func(seed int64) (float64, error)) (float64, []float64, error) {
-	times := make([]float64, 0, 3)
-	for _, sd := range probeSeeds(baseSeed) {
+// probeTypical runs one probe simulation (the closure) over a
+// stop-when-stable seed schedule and keeps the median run. Completion
+// times on lossy WANs are heavy-tailed upward — a single
+// retransmission timeout adds whole RTO periods — so a mean bakes one
+// seed's tail draw into every prediction, while a minimum discards the
+// systematic loss recovery the factors exist to price (an incast's
+// "lucky" run dodges the very losses κ summarizes). The median is
+// robust against both.
+//
+// Sampling is adaptive on the per-seed dispersion signal: the first
+// probeSeedsInitial seeds always run; if their spread (max−min)
+// exceeds stableSpread × median — the same overlap-prone dispersion
+// probe.unstable warns about — the remaining probeSeeds run too
+// (bounded at five) and the median widens to all samples. Stable
+// probes pay three simulations, seed-lottery ones five.
+//
+// Both the initial fits (Simulate) and the post-selection refits
+// (SimulateSpec, internal/grid/coords.go) share this one harness, so
+// the statistic and seed schedule cannot drift apart. The raw per-seed
+// times come back in probeSeeds order for dispersion diagnostics
+// (recordProbe); given the same baseSeed and closure behavior, the
+// samples and median are identical in any process.
+func probeTypical(baseSeed int64, stableSpread float64, run func(seed int64) (float64, error)) (float64, []float64, error) {
+	seeds := probeSeeds(baseSeed)
+	times := make([]float64, 0, len(seeds))
+	for _, sd := range seeds[:probeSeedsInitial] {
 		one, err := run(sd)
 		if err != nil {
 			return 0, nil, err
 		}
 		times = append(times, one)
+	}
+	if lo, med, hi := dispersion(times); med > 0 && hi-lo > stableSpread*med {
+		for _, sd := range seeds[probeSeedsInitial:] {
+			one, err := run(sd)
+			if err != nil {
+				return 0, nil, err
+			}
+			times = append(times, one)
+		}
 	}
 	sorted := append([]float64(nil), times...)
 	sort.Float64s(sorted)
@@ -629,8 +736,19 @@ func (pl *Planner) fitTierGammas(topo cluster.TopoNode, mod *model.ModelNode, ca
 		}
 	}
 	probeTopo := cappedTree(topo, opt.ProbeCap)
-	key := topoKey(probeTopo)
+	// Fits are keyed by the tier's uncapped structure — the same key the
+	// tier's WAN curve uses — so CurveStore.Invalidate's substring rule
+	// covers the γ fit along with the curve. The probe simulations below
+	// run on the capped tree, so tiers identical when capped but not
+	// uncapped fit identical values from separate (deterministic) probes
+	// instead of sharing one cache entry.
+	key := topoKey(topo)
 	if gamma, ok := cache[key]; ok {
+		mod.Wan.Gamma = gamma
+		return nil
+	}
+	if gamma, ok := pl.sv.gamma(parent, key); ok {
+		cache[key] = gamma
 		mod.Wan.Gamma = gamma
 		return nil
 	}
@@ -639,7 +757,7 @@ func (pl *Planner) fitTierGammas(topo cluster.TopoNode, mod *model.ModelNode, ca
 	probeModel := model.GridModel{Root: cappedModel(mod, opt.ProbeCap)}
 	points := make([]model.FactorPoint, 0, len(opt.ProbeSizes))
 	for _, p := range opt.ProbeSizes {
-		sim, seedTimes, err := probeTypical(opt.Seed+53, func(sd int64) (float64, error) {
+		sim, seedTimes, err := probeTypical(opt.Seed+53, opt.StableSpread, func(sd int64) (float64, error) {
 			return simulateObs(opt.Trace, probeTopo, FlatDirect, p, sd, 1, opt.Reps)
 		})
 		if err != nil {
@@ -656,6 +774,7 @@ func (pl *Planner) fitTierGammas(topo cluster.TopoNode, mod *model.ModelNode, ca
 	curve := model.CurveOf(points...)
 	mod.Wan.Gamma = curve
 	cache[key] = curve
+	pl.sv.putGamma(key, curve)
 	return nil
 }
 
@@ -674,6 +793,15 @@ func (pl *Planner) fitTierGammas(topo cluster.TopoNode, mod *model.ModelNode, ca
 // pl.Warnings (see ProbeWarning).
 func (pl *Planner) fitStrategyFactors(topo cluster.TopoNode, gm model.GridModel, parent *obs.Span) (omega, kappa model.FactorCurve, err error) {
 	opt := pl.opt
+	// Strategy factors are whole-topology fits, keyed apart from the
+	// per-tier records ("S|" prefix; the post-selection refit uses "R|").
+	// A hit restores the fitted curves without probing, so the build
+	// records no omega/kappa ProbeStats or overlap warnings — the cached
+	// analogue of a shared tier fit.
+	skey := "S|" + topoKey(topo)
+	if rec, ok := pl.sv.strategy(parent, skey); ok {
+		return rec.Omega, rec.Kappa, nil
+	}
 	probeTopo := cappedTree(topo, opt.ProbeCap)
 	probeModel := model.GridModel{Root: cappedModel(gm.Root, opt.ProbeCap)}
 	sp := parent.Span("planner.fit_strategy", obs.Int("probe_cap", opt.ProbeCap))
@@ -681,7 +809,7 @@ func (pl *Planner) fitStrategyFactors(topo cluster.TopoNode, gm model.GridModel,
 
 	var omegaPts, kappaPts []model.FactorPoint
 	for _, p := range opt.ProbeSizes {
-		simHD, hdTimes, err := probeTypical(opt.Seed+71, func(sd int64) (float64, error) {
+		simHD, hdTimes, err := probeTypical(opt.Seed+71, opt.StableSpread, func(sd int64) (float64, error) {
 			return simulateObs(opt.Trace, probeTopo, HierDirect, p, sd, 1, opt.Reps)
 		})
 		if err != nil {
@@ -695,7 +823,7 @@ func (pl *Planner) fitStrategyFactors(topo cluster.TopoNode, gm model.GridModel,
 		sp.Event("fit.point", obs.Str("factor", "omega"), obs.Int("size", p), obs.F64("value", o))
 		omegaPts = append(omegaPts, model.FactorPoint{Bytes: p, Factor: o})
 
-		simHG, hgTimes, err := probeTypical(opt.Seed+89, func(sd int64) (float64, error) {
+		simHG, hgTimes, err := probeTypical(opt.Seed+89, opt.StableSpread, func(sd int64) (float64, error) {
 			return simulateObs(opt.Trace, probeTopo, HierGather, p, sd, 1, opt.Reps)
 		})
 		if err != nil {
@@ -711,7 +839,9 @@ func (pl *Planner) fitStrategyFactors(topo cluster.TopoNode, gm model.GridModel,
 
 		pl.checkOverlap(sp, "characterize", p, hdTimes, hgTimes)
 	}
-	return model.CurveOf(omegaPts...), model.CurveOf(kappaPts...), nil
+	omega, kappa = model.CurveOf(omegaPts...), model.CurveOf(kappaPts...)
+	pl.sv.putStrategy(skey, storedStrategy{Omega: omega, Kappa: kappa})
+	return omega, kappa, nil
 }
 
 // Prediction is one strategy's predicted completion time.

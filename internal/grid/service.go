@@ -1,0 +1,226 @@
+package grid
+
+import (
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/coll"
+	"repro/internal/obs"
+)
+
+// Service is the planner as a long-lived, concurrency-safe layer: one
+// Options configuration, one CurveStore of fitted curves, and a cache
+// of assembled planners keyed by topology structure. The paper's
+// workflow is characterize once, predict many times — Service is the
+// "many times": N goroutines may call Predict/Best/SelectCoordinators
+// concurrently over any mix of topologies, characterization runs
+// single-flight (simultaneous first requests for one topology probe
+// once, the rest wait for the same planner), and the store carries the
+// fits across topologies sharing structure and — through WriteJSON /
+// ReadCurveStore — across processes.
+//
+// Topologies are identified by their structure (TierKey of the root):
+// two trees differing only in node names share one planner, exactly as
+// they would produce bit-identical planners built separately.
+type Service struct {
+	opt   Options
+	store *CurveStore
+
+	mu      sync.Mutex
+	entries map[string]*serviceEntry
+}
+
+// serviceEntry is one cached planner build. ready closes when the
+// build (pl, err) is final; mu then serializes model mutation:
+// predictions are pure model reads and take it shared, while
+// SelectCoordinators mutates per-leaf coordinator fields and the
+// strategy factor curves and takes it exclusively.
+type serviceEntry struct {
+	ready chan struct{}
+	mu    sync.RWMutex
+	pl    *Planner
+	err   error
+}
+
+// NewService returns a service over a fresh in-memory store.
+func NewService(opt Options) (*Service, error) {
+	return NewServiceWithStore(opt, NewCurveStore())
+}
+
+// NewServiceWithStore returns a service over an existing store —
+// typically one loaded with ReadCurveStore to reuse another process's
+// characterization. The store must be empty or fitted under the same
+// probe configuration: fitted values are functions of every sweep,
+// cap, and seed in Options, so a mismatch is an error, not a warm
+// start.
+func NewServiceWithStore(opt Options, st *CurveStore) (*Service, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if st == nil {
+		st = NewCurveStore()
+	}
+	if err := st.bind(opt.fingerprint()); err != nil {
+		return nil, err
+	}
+	return &Service{opt: opt, store: st, entries: map[string]*serviceEntry{}}, nil
+}
+
+// Store returns the service's curve store (for WriteJSON or direct
+// Invalidate; the store is itself safe for concurrent use).
+func (s *Service) Store() *CurveStore { return s.store }
+
+// SaveStore serializes the store (see CurveStore.WriteJSON).
+func (s *Service) SaveStore(w io.Writer) error { return s.store.WriteJSON(w) }
+
+// PlannerFor returns the cached planner of the topology, building and
+// characterizing it on first request. Concurrent first requests are
+// single-flight: one caller builds, the rest block until the same
+// planner (or error) is ready. Build errors are deterministic in
+// (topology, Options) — an invalid tree stays invalid — so they cache
+// like successes.
+//
+// The returned planner is shared: concurrent Predict*/Best* calls on
+// it are safe only through the service's methods (which hold the
+// entry's read-write lock around SelectCoordinators' model mutation);
+// callers using the planner directly must not race its SelectCoordinators.
+func (s *Service) PlannerFor(topo cluster.TopoNode) (*Planner, error) {
+	e := s.entryFor(topo)
+	return e.pl, e.err
+}
+
+// entryFor returns the topology's entry, building it single-flight.
+func (s *Service) entryFor(topo cluster.TopoNode) *serviceEntry {
+	key := topoKey(topo)
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.mu.Unlock()
+		<-e.ready
+		return e
+	}
+	e := &serviceEntry{ready: make(chan struct{})}
+	s.entries[key] = e
+	s.mu.Unlock()
+	e.pl, e.err = newPlannerWithStore(topo, s.opt, s.store)
+	close(e.ready)
+	return e
+}
+
+// Predict returns every strategy's predicted completion time for an
+// All-to-All of per-pair size m on the topology, fastest first,
+// characterizing on first use. Safe for concurrent use.
+func (s *Service) Predict(topo cluster.TopoNode, m int) ([]Prediction, error) {
+	e := s.entryFor(topo)
+	if e.err != nil {
+		return nil, e.err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.pl.Predict(m), nil
+}
+
+// Best returns the predicted-fastest strategy for size m on the
+// topology. Safe for concurrent use.
+func (s *Service) Best(topo cluster.TopoNode, m int) (Prediction, error) {
+	e := s.entryFor(topo)
+	if e.err != nil {
+		return Prediction{}, e.err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.pl.Best(m), nil
+}
+
+// PredictV returns every strategy's predicted completion time for the
+// irregular exchange sz on the topology, fastest first. The matrix
+// ranks must match the topology (PredictV panics on a mismatch, like
+// Planner.PredictV). Safe for concurrent use.
+func (s *Service) PredictV(topo cluster.TopoNode, sz coll.SizeMatrix) ([]Prediction, error) {
+	e := s.entryFor(topo)
+	if e.err != nil {
+		return nil, e.err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.pl.PredictV(sz), nil
+}
+
+// BestV returns the predicted-fastest strategy for the size matrix sz
+// on the topology. Safe for concurrent use.
+func (s *Service) BestV(topo cluster.TopoNode, sz coll.SizeMatrix) (Prediction, error) {
+	e := s.entryFor(topo)
+	if e.err != nil {
+		return Prediction{}, e.err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.pl.BestV(sz), nil
+}
+
+// SelectCoordinators runs bandwidth-aware coordinator selection at
+// size m on the topology's cached planner, under the entry's exclusive
+// lock (selection mutates the model's per-leaf coordinator fields and
+// refits ω/κ); concurrent predictions on the same topology observe
+// either the pre- or post-selection model, never a partial write. Safe
+// for concurrent use.
+func (s *Service) SelectCoordinators(topo cluster.TopoNode, m int) ([]CoordChoice, error) {
+	e := s.entryFor(topo)
+	if e.err != nil {
+		return nil, e.err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pl.SelectCoordinators(m)
+}
+
+// SelectCoordinatorsV is SelectCoordinators for an irregular exchange.
+func (s *Service) SelectCoordinatorsV(topo cluster.TopoNode, sz coll.SizeMatrix) ([]CoordChoice, error) {
+	e := s.entryFor(topo)
+	if e.err != nil {
+		return nil, e.err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pl.SelectCoordinatorsV(sz)
+}
+
+// Invalidate declares one tier's characterization stale — its WAN
+// changed, remeasure — and returns the number of store records
+// dropped: the tier's measured curve and γ fit, every ancestor tier's
+// fits, and the strategy fits of every topology containing the tier
+// (CurveStore.Invalidate's substring rule over the compositional
+// TierKey). Cached planners whose topology contains the tier are
+// dropped too; their next PlannerFor re-fits incrementally, reusing
+// every surviving record. Builds already in flight when Invalidate
+// runs may still complete and re-insert records fitted from the
+// pre-invalidation simulations; invalidate before issuing the queries
+// that must observe the refit.
+func (s *Service) Invalidate(tierKey string) int {
+	if tierKey == "" {
+		return 0
+	}
+	s.mu.Lock()
+	planners := 0
+	for k := range s.entries {
+		if strings.Contains(k, tierKey) {
+			delete(s.entries, k)
+			planners++
+		}
+	}
+	s.mu.Unlock()
+	records := s.store.Invalidate(tierKey)
+	sp := s.opt.Trace.Span("service.invalidate",
+		obs.Int("planners", planners), obs.Int("records", records))
+	sp.End()
+	return records
+}
+
+// Len reports how many planners the service currently caches.
+func (s *Service) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}

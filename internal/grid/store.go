@@ -1,0 +1,467 @@
+package grid
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/obs"
+)
+
+// CurveStore is the planner's persistent characterization cache: every
+// fitted artifact of the characterize→fit pipeline, keyed by the
+// collision-hardened field-wise keys (profileKey for member networks,
+// topoKey for tiers and whole topologies). The paper's workflow is
+// characterize once, predict many times — the store is the "once": a
+// planner built through it probes only the records it cannot find,
+// reuses everything else bit-identically, and writes its own fits back
+// for the next planner (or, via the deterministic JSON form, the next
+// process).
+//
+// Record kinds and their keys:
+//
+//	leaves      profileKey(p)            Hockney + contention signature
+//	headroom    profileKey(p)|nodes      per-node probed NIC rates
+//	tiers       topoKey(tier)            measured WAN transfer curve
+//	gammas      topoKey(tier)            fitted per-tier γ_wan curve
+//	strategies  "S|"+topoKey(topo)       initial ω/κ strategy curves
+//	            "R|"+topoKey(topo)+sel   post-selection ω/κ refits
+//
+// topoKey is compositional — a subtree's key is a substring of every
+// ancestor's — which is what makes Invalidate's semantics exact: a
+// record is stale if and only if its keyed structure contains the
+// invalidated subtree, so dropping records whose key contains the tier
+// key removes the tier's own fits, every ancestor fit derived from
+// them (tier fitting is bottom-up), and the whole-tree strategy fits,
+// while sibling tiers and all member-network fits survive.
+//
+// All methods are safe for concurrent use. Records are write-once per
+// key in practice (planners only put on a miss), so concurrent writers
+// of the same key — two single-flight builds of different topologies
+// sharing a tier — write identical deterministic values.
+type CurveStore struct {
+	mu sync.RWMutex
+	// optKey pins the Options fingerprint the fits were produced under;
+	// fitted values depend on probe sweeps and seeds, so a store is only
+	// valid for the exact configuration that filled it (bind rejects
+	// mismatches instead of silently mispredicting).
+	optKey     string
+	leaves     map[string]storedLeaf
+	headroom   map[string][]float64
+	tiers      map[string]storedTier
+	gammas     map[string]model.FactorCurve
+	strategies map[string]storedStrategy
+}
+
+// StoreVersion is the serialized store's schema version. Load rejects
+// any other value: a schema drift (re-keyed records, re-shaped curves)
+// must fail loudly, not deserialize into wrong predictions.
+const StoreVersion = 1
+
+// storedLeaf is one member network's characterization.
+type storedLeaf struct {
+	Hockney   model.Hockney
+	Signature model.Signature
+}
+
+// storedTier is one tier's measured WAN transfer curve (the fitted
+// γ_wan curve is a separate record: Invalidate-driven refits re-measure
+// both, but tier curves are also consumed by ancestors' fits).
+type storedTier struct {
+	Curve    []model.WANPoint
+	BetaWire float64
+}
+
+// storedStrategy is one whole-topology strategy-factor fit.
+type storedStrategy struct {
+	Omega model.FactorCurve
+	Kappa model.FactorCurve
+}
+
+// storeFile is the serialized form. Maps marshal with sorted keys and
+// floats in shortest-round-trip form, so the output is deterministic
+// and a save→load cycle reproduces every fitted value bit-identically.
+type storeFile struct {
+	Version    int                          `json:"version"`
+	Options    string                       `json:"options,omitempty"`
+	Leaves     map[string]storedLeaf        `json:"leaves,omitempty"`
+	Headroom   map[string][]float64         `json:"headroom,omitempty"`
+	Tiers      map[string]storedTier        `json:"tiers,omitempty"`
+	Gammas     map[string]model.FactorCurve `json:"gammas,omitempty"`
+	Strategies map[string]storedStrategy    `json:"strategies,omitempty"`
+}
+
+// NewCurveStore returns an empty store.
+func NewCurveStore() *CurveStore {
+	return &CurveStore{
+		leaves:     map[string]storedLeaf{},
+		headroom:   map[string][]float64{},
+		tiers:      map[string]storedTier{},
+		gammas:     map[string]model.FactorCurve{},
+		strategies: map[string]storedStrategy{},
+	}
+}
+
+// bind pins the store to an Options fingerprint. The first bind adopts
+// the fingerprint; later binds must match — fitted values depend on the
+// probe configuration, so serving one configuration's curves to another
+// would mispredict silently.
+func (s *CurveStore) bind(optKey string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.optKey == "" {
+		s.optKey = optKey
+		return nil
+	}
+	if s.optKey != optKey {
+		return fmt.Errorf("grid: store was fitted under different options:\n  store:   %s\n  request: %s", s.optKey, optKey)
+	}
+	return nil
+}
+
+// Len returns the total record count across all kinds.
+func (s *CurveStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.leaves) + len(s.headroom) + len(s.tiers) + len(s.gammas) + len(s.strategies)
+}
+
+// Invalidate drops every record whose keyed structure contains the
+// given tier key (see TierKey): the tier's measured curve and fitted
+// γ_wan, every ancestor tier's fits (fitted bottom-up through this
+// tier's curve), and the strategy fits of every topology containing the
+// tier. Member-network characterizations and unrelated tiers survive,
+// so the next planner build re-probes only what the invalidation
+// actually touched — the incremental re-fit path. Returns the number of
+// records dropped.
+func (s *CurveStore) Invalidate(tierKey string) int {
+	if tierKey == "" {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for k := range s.tiers {
+		if strings.Contains(k, tierKey) {
+			delete(s.tiers, k)
+			n++
+		}
+	}
+	for k := range s.gammas {
+		if strings.Contains(k, tierKey) {
+			delete(s.gammas, k)
+			n++
+		}
+	}
+	for k := range s.strategies {
+		if strings.Contains(k, tierKey) {
+			delete(s.strategies, k)
+			n++
+		}
+	}
+	return n
+}
+
+// leaf / putLeaf access one member network's characterization.
+func (s *CurveStore) leaf(key string) (storedLeaf, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.leaves[key]
+	return v, ok
+}
+
+func (s *CurveStore) putLeaf(key string, v storedLeaf) {
+	s.mu.Lock()
+	s.leaves[key] = v
+	s.mu.Unlock()
+}
+
+// headroomFor / putHeadroom access one (profile, size) headroom probe.
+func (s *CurveStore) headroomFor(key string) ([]float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.headroom[key]
+	return v, ok
+}
+
+func (s *CurveStore) putHeadroom(key string, rates []float64) {
+	s.mu.Lock()
+	s.headroom[key] = append([]float64(nil), rates...)
+	s.mu.Unlock()
+}
+
+// tier / putTier access one tier's measured WAN transfer curve.
+func (s *CurveStore) tier(key string) (storedTier, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.tiers[key]
+	return v, ok
+}
+
+func (s *CurveStore) putTier(key string, v storedTier) {
+	s.mu.Lock()
+	s.tiers[key] = v
+	s.mu.Unlock()
+}
+
+// gamma / putGamma access one tier's fitted γ_wan curve.
+func (s *CurveStore) gamma(key string) (model.FactorCurve, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.gammas[key]
+	return v, ok
+}
+
+func (s *CurveStore) putGamma(key string, c model.FactorCurve) {
+	s.mu.Lock()
+	s.gammas[key] = c
+	s.mu.Unlock()
+}
+
+// strategy / putStrategy access one whole-topology ω/κ fit ("S|" keys)
+// or post-selection refit ("R|" keys).
+func (s *CurveStore) strategy(key string) (storedStrategy, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.strategies[key]
+	return v, ok
+}
+
+func (s *CurveStore) putStrategy(key string, v storedStrategy) {
+	s.mu.Lock()
+	s.strategies[key] = v
+	s.mu.Unlock()
+}
+
+// WriteJSON serializes the store. The output is deterministic — map
+// keys sort, floats render in shortest round-trip form — so two stores
+// holding the same fits serialize byte-identically, and re-saving a
+// loaded store reproduces the file.
+func (s *CurveStore) WriteJSON(w io.Writer) error {
+	s.mu.RLock()
+	f := storeFile{
+		Version:    StoreVersion,
+		Options:    s.optKey,
+		Leaves:     s.leaves,
+		Headroom:   s.headroom,
+		Tiers:      s.tiers,
+		Gammas:     s.gammas,
+		Strategies: s.strategies,
+	}
+	b, err := json.MarshalIndent(f, "", " ")
+	s.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadCurveStore deserializes a store written by WriteJSON, validating
+// the schema version and every curve before any record becomes
+// servable: a version drift or a corrupt curve (non-finite, mis-ordered
+// points) fails the load with a clear error instead of silently
+// mispredicting later.
+func ReadCurveStore(r io.Reader) (*CurveStore, error) {
+	var f storeFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("grid: store is not valid JSON: %w", err)
+	}
+	if f.Version != StoreVersion {
+		return nil, fmt.Errorf("grid: store schema version %d, this build reads version %d — refit the store",
+			f.Version, StoreVersion)
+	}
+	st := NewCurveStore()
+	st.optKey = f.Options
+	for k, v := range f.Leaves {
+		if err := v.Hockney.Validate(); err != nil {
+			return nil, fmt.Errorf("grid: store leaf %q: %w", k, err)
+		}
+		if err := v.Signature.Validate(); err != nil {
+			return nil, fmt.Errorf("grid: store leaf %q: %w", k, err)
+		}
+		st.leaves[k] = v
+	}
+	for k, rates := range f.Headroom {
+		for i, r := range rates {
+			if r < 0 || !finiteF64(r) {
+				return nil, fmt.Errorf("grid: store headroom %q entry %d is unusable: %v", k, i, r)
+			}
+		}
+		st.headroom[k] = rates
+	}
+	for k, v := range f.Tiers {
+		// Re-validate through WANModel so tier records obey the same
+		// interpolation invariants the planner's own fits do.
+		wm := model.WANModel{Curve: v.Curve, BetaWire: v.BetaWire}
+		if err := wm.Validate(); err != nil {
+			return nil, fmt.Errorf("grid: store tier %q: %w", k, err)
+		}
+		st.tiers[k] = v
+	}
+	for k, c := range f.Gammas {
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("grid: store gamma %q: %w", k, err)
+		}
+		st.gammas[k] = c
+	}
+	for k, v := range f.Strategies {
+		if err := v.Omega.Validate(); err != nil {
+			return nil, fmt.Errorf("grid: store strategy %q omega: %w", k, err)
+		}
+		if err := v.Kappa.Validate(); err != nil {
+			return nil, fmt.Errorf("grid: store strategy %q kappa: %w", k, err)
+		}
+		st.strategies[k] = v
+	}
+	return st, nil
+}
+
+// TierKey returns the canonical cache key of a topology subtree — the
+// identity Invalidate matches records against, and the key PlannerFor
+// caches planners under when given the whole topology. Node names are
+// excluded (structurally identical tiers share fits); pass the subtree
+// value the topology was built from, e.g. topo.Children[0].
+func TierKey(t cluster.TopoNode) string { return topoKey(t) }
+
+// finiteF64 reports whether v is a usable stored value.
+func finiteF64(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// storeView is one planner build's window onto an optional CurveStore:
+// nil-tolerant lookups that count and trace store.hit/store.miss per
+// record kind, so planner.probes keeps working as the cache-regression
+// signal and a trace shows exactly which characterizations were reused.
+// Without a store (st nil) every lookup is an inert miss that records
+// nothing — the plain NewPlanner path.
+//
+// The view itself is used by one build at a time (hits/misses are not
+// locked); only the underlying CurveStore is shared between builds.
+type storeView struct {
+	st           *CurveStore
+	c            *obs.Collector
+	hits, misses int
+}
+
+// record tallies one lookup and emits its store.hit/store.miss event
+// and counter.
+func (v *storeView) record(sp *obs.Span, hit bool, kind string) {
+	if v == nil || v.st == nil {
+		return
+	}
+	name := CtrStoreMiss
+	if hit {
+		v.hits++
+		name = CtrStoreHit
+	} else {
+		v.misses++
+		name = CtrStoreMiss
+	}
+	if sp != nil {
+		sp.Event(name, obs.Str("kind", kind))
+	}
+	if v.c != nil {
+		v.c.Add(name, 1)
+	}
+}
+
+// noteRefit emits the store.refit event and counter when the finished
+// build mixed hits and misses — an incremental re-fit that re-probed
+// only what the store lacked (e.g. one invalidated tier) and reused
+// every other cached curve.
+func (v *storeView) noteRefit(sp *obs.Span) {
+	if v == nil || v.st == nil || v.hits == 0 || v.misses == 0 {
+		return
+	}
+	if sp != nil {
+		sp.Event(CtrStoreRefit, obs.Int("hits", v.hits), obs.Int("misses", v.misses))
+	}
+	if v.c != nil {
+		v.c.Add(CtrStoreRefit, 1)
+	}
+}
+
+func (v *storeView) leaf(sp *obs.Span, key string) (storedLeaf, bool) {
+	if v == nil || v.st == nil {
+		return storedLeaf{}, false
+	}
+	rec, ok := v.st.leaf(key)
+	v.record(sp, ok, "leaf")
+	return rec, ok
+}
+
+func (v *storeView) putLeaf(key string, rec storedLeaf) {
+	if v != nil && v.st != nil {
+		v.st.putLeaf(key, rec)
+	}
+}
+
+func (v *storeView) headroom(sp *obs.Span, key string) ([]float64, bool) {
+	if v == nil || v.st == nil {
+		return nil, false
+	}
+	rates, ok := v.st.headroomFor(key)
+	v.record(sp, ok, "headroom")
+	return rates, ok
+}
+
+func (v *storeView) putHeadroom(key string, rates []float64) {
+	if v != nil && v.st != nil {
+		v.st.putHeadroom(key, rates)
+	}
+}
+
+func (v *storeView) tier(sp *obs.Span, key string) (storedTier, bool) {
+	if v == nil || v.st == nil {
+		return storedTier{}, false
+	}
+	rec, ok := v.st.tier(key)
+	v.record(sp, ok, "tier")
+	return rec, ok
+}
+
+func (v *storeView) putTier(key string, rec storedTier) {
+	if v != nil && v.st != nil {
+		v.st.putTier(key, rec)
+	}
+}
+
+func (v *storeView) gamma(sp *obs.Span, key string) (model.FactorCurve, bool) {
+	if v == nil || v.st == nil {
+		return model.FactorCurve{}, false
+	}
+	c, ok := v.st.gamma(key)
+	v.record(sp, ok, "gamma")
+	return c, ok
+}
+
+func (v *storeView) putGamma(key string, c model.FactorCurve) {
+	if v != nil && v.st != nil {
+		v.st.putGamma(key, c)
+	}
+}
+
+func (v *storeView) strategy(sp *obs.Span, key string) (storedStrategy, bool) {
+	if v == nil || v.st == nil {
+		return storedStrategy{}, false
+	}
+	rec, ok := v.st.strategy(key)
+	kind := "strategy"
+	if strings.HasPrefix(key, "R|") {
+		kind = "refit"
+	}
+	v.record(sp, ok, kind)
+	return rec, ok
+}
+
+func (v *storeView) putStrategy(key string, rec storedStrategy) {
+	if v != nil && v.st != nil {
+		v.st.putStrategy(key, rec)
+	}
+}

@@ -31,6 +31,23 @@ const (
 	// CtrTimeouts accumulates transport RTO firings across traced
 	// simulations.
 	CtrTimeouts = "transport.timeouts"
+	// CtrValidations counts traced validation simulations
+	// (SimulateSpecTraced / SimulateSpecVTraced) — ground-truth runs of
+	// an already-planned exchange. Kept apart from CtrProbes so a
+	// warm-store planner run reports planner.probes = 0 even when its
+	// diagnostics re-simulate the chosen plan.
+	CtrValidations = "planner.validations"
+	// CtrStoreHit / CtrStoreMiss count CurveStore lookups during planner
+	// builds, per record (leaf fit, headroom, tier curve, γ/ω/κ fits):
+	// a fully warm build is all hits and zero probes, and a regression
+	// that stops consulting the store shows up as misses before it shows
+	// up as time.
+	CtrStoreHit  = "store.hit"
+	CtrStoreMiss = "store.miss"
+	// CtrStoreRefit counts planner builds that mixed store hits and
+	// misses — incremental re-fits that re-probed only the records the
+	// store lacked (typically after CurveStore.Invalidate).
+	CtrStoreRefit = "store.refit"
 )
 
 // ProbeWarning flags a seed-lottery strategy probe: at Size, the two
@@ -159,10 +176,17 @@ func (pl *Planner) checkOverlap(sp *obs.Span, stage string, size int, hd, hg []f
 // recovery) when tracing — the one funnel every planner probe and
 // Simulate* call goes through.
 func measureEnv(c *obs.Collector, env *cluster.Cluster, warmup, reps int, op func(r *mpi.Rank)) float64 {
+	return measureEnvAs(c, CtrProbes, env, warmup, reps, op)
+}
+
+// measureEnvAs is measureEnv with the run counted under an explicit
+// counter: probe simulations feed CtrProbes, traced validation runs
+// feed CtrValidations.
+func measureEnvAs(c *obs.Collector, counter string, env *cluster.Cluster, warmup, reps int, op func(r *mpi.Rank)) float64 {
 	env.Net.AttachCollector(c)
 	w := mpi.NewWorld(env, mpi.Config{})
 	t := coll.Measure(w, warmup, reps, op).Mean()
-	addRunCounters(c, env)
+	addRunCountersAs(c, counter, env)
 	return t
 }
 
@@ -170,10 +194,15 @@ func measureEnv(c *obs.Collector, env *cluster.Cluster, warmup, reps int, op fun
 // the collector: one probe, its event count, and the transport's
 // loss-recovery tallies. No-op on a nil collector.
 func addRunCounters(c *obs.Collector, env *cluster.Cluster) {
+	addRunCountersAs(c, CtrProbes, env)
+}
+
+// addRunCountersAs is addRunCounters under an explicit run counter.
+func addRunCountersAs(c *obs.Collector, counter string, env *cluster.Cluster) {
 	if c == nil {
 		return
 	}
-	c.Add(CtrProbes, 1)
+	c.Add(counter, 1)
 	c.Add(CtrSimEvents, env.Sim.Events())
 	ts := env.Fabric.TotalStats()
 	c.Add(CtrRetransmits, uint64(ts.Retransmits))
@@ -218,7 +247,7 @@ func SimulateSpecTraced(c *obs.Collector, topo cluster.TopoNode, spec coll.TreeS
 			plan.Place.NumRanks(), len(g.Env.Hosts))
 	}
 	pt := coll.NewPhaseTrace(plan)
-	t := measureEnv(c, g.Env, warmup, reps, func(r *mpi.Rank) {
+	t := measureEnvAs(c, CtrValidations, g.Env, warmup, reps, func(r *mpi.Rank) {
 		coll.AlltoallHierPlannedTraced(r, plan, m, pt)
 	})
 	spans := pt.Spans()
@@ -243,7 +272,7 @@ func SimulateSpecVTraced(c *obs.Collector, topo cluster.TopoNode, spec coll.Tree
 		return 0, nil, err
 	}
 	pt := coll.NewPhaseTrace(plan)
-	t := measureEnv(c, g.Env, warmup, reps, func(r *mpi.Rank) {
+	t := measureEnvAs(c, CtrValidations, g.Env, warmup, reps, func(r *mpi.Rank) {
 		coll.AlltoallHierPlannedVTraced(r, plan, pt)
 	})
 	spans := pt.Spans()

@@ -202,7 +202,9 @@ func TestSimulateSpecTracedMatchesUntraced(t *testing.T) {
 		}
 	}
 	// The traced run must have published per-port counters and fed the
-	// aggregates.
+	// aggregates — under the validation counter, not the probe counter:
+	// re-simulating an already-planned exchange is not characterization,
+	// and a warm-store planner run must be able to report zero probes.
 	var sawPort bool
 	for _, ev := range c.Events() {
 		if ev.Name == "netsim.port" {
@@ -212,7 +214,7 @@ func TestSimulateSpecTracedMatchesUntraced(t *testing.T) {
 	if !sawPort {
 		t.Error("no netsim.port events published")
 	}
-	for _, name := range []string{CtrProbes, CtrSimEvents} {
+	for _, name := range []string{CtrValidations, CtrSimEvents} {
 		var found bool
 		for _, cv := range c.Counters() {
 			if cv.Name == name && cv.Value > 0 {
@@ -221,6 +223,11 @@ func TestSimulateSpecTracedMatchesUntraced(t *testing.T) {
 		}
 		if !found {
 			t.Errorf("counter %s not fed", name)
+		}
+	}
+	for _, cv := range c.Counters() {
+		if cv.Name == CtrProbes && cv.Value > 0 {
+			t.Errorf("validation simulation fed %s = %d, want 0", CtrProbes, cv.Value)
 		}
 	}
 }

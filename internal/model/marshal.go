@@ -1,0 +1,88 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Serialization support for the planner's persistent characterization
+// store (internal/grid.CurveStore): the fitted curves marshal through
+// encoding/json with their exported fields, and the Validate methods
+// below are the load-time gate — a store file edited by hand, truncated
+// mid-write, or produced by a different fit could otherwise inject
+// non-finite or mis-ordered points that every subsequent prediction
+// would silently interpolate over. Go's JSON encoder renders float64
+// in the shortest form that parses back to the identical bits, so a
+// save→load round trip reproduces fitted values exactly — the property
+// the warm-vs-cold bit-identity tests pin.
+
+// finiteVal reports whether v is a usable model parameter.
+func finiteVal(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Validate rejects curves a prediction cannot safely interpolate:
+// non-finite factors, non-positive... sizes are allowed to be zero
+// (ScalarFactor uses Bytes 0), but points must ascend strictly in
+// Bytes — equal sizes would make lookup segments zero-width.
+func (c FactorCurve) Validate() error {
+	for i, p := range c.Points {
+		if !finiteVal(p.Factor) {
+			return fmt.Errorf("model: factor curve point %d has non-finite factor %v", i, p.Factor)
+		}
+		if p.Bytes < 0 {
+			return fmt.Errorf("model: factor curve point %d has negative size %d", i, p.Bytes)
+		}
+		if i > 0 && p.Bytes <= c.Points[i-1].Bytes {
+			return fmt.Errorf("model: factor curve points not strictly ascending at %d (%d after %d)",
+				i, p.Bytes, c.Points[i-1].Bytes)
+		}
+	}
+	return nil
+}
+
+// Validate rejects WAN models whose measured curve cannot be
+// interpolated: points must ascend strictly in Bytes with finite
+// non-negative times, BetaWire must be finite and non-negative, and the
+// contention curve must itself validate.
+func (w WANModel) Validate() error {
+	if len(w.Curve) < 2 {
+		return fmt.Errorf("model: WAN curve has %d point(s), need at least 2 to interpolate", len(w.Curve))
+	}
+	for i, p := range w.Curve {
+		if !finiteVal(p.T) || p.T < 0 {
+			return fmt.Errorf("model: WAN curve point %d has unusable time %v", i, p.T)
+		}
+		if p.Bytes <= 0 {
+			return fmt.Errorf("model: WAN curve point %d has non-positive size %d", i, p.Bytes)
+		}
+		if i > 0 && p.Bytes <= w.Curve[i-1].Bytes {
+			return fmt.Errorf("model: WAN curve points not strictly ascending at %d (%d after %d)",
+				i, p.Bytes, w.Curve[i-1].Bytes)
+		}
+	}
+	if !finiteVal(w.BetaWire) || w.BetaWire < 0 {
+		return fmt.Errorf("model: WAN BetaWire %v is unusable", w.BetaWire)
+	}
+	if err := w.Gamma.Validate(); err != nil {
+		return fmt.Errorf("WAN gamma: %w", err)
+	}
+	return nil
+}
+
+// Validate rejects non-finite point-to-point parameters.
+func (h Hockney) Validate() error {
+	if !finiteVal(h.Alpha) || !finiteVal(h.Beta) || h.Alpha < 0 || h.Beta < 0 {
+		return fmt.Errorf("model: Hockney parameters unusable: α=%v β=%v", h.Alpha, h.Beta)
+	}
+	return nil
+}
+
+// Validate rejects non-finite contention-signature parameters.
+func (s Signature) Validate() error {
+	if err := s.H.Validate(); err != nil {
+		return err
+	}
+	if !finiteVal(s.Gamma) || !finiteVal(s.Delta) {
+		return fmt.Errorf("model: signature parameters unusable: γ=%v δ=%v", s.Gamma, s.Delta)
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package textplot
+
+import (
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden renders")
+
+// TestBarsGoldenRender pins the exact rendered output of HBar and
+// Intervals over the awkward inputs the scaling math must survive —
+// zero-width ranges, negative and non-finite values, a single sample —
+// so any drift in layout, padding, or value formatting shows up as a
+// byte diff instead of a subtly garbled diagnostics panel.
+func TestBarsGoldenRender(t *testing.T) {
+	var b strings.Builder
+	section := func(name, body string) {
+		b.WriteString("== " + name + " ==\n")
+		b.WriteString(body)
+		b.WriteString("\n")
+	}
+
+	section("hbar basic", HBar("phase timings",
+		[]string{"intra", "leaf-gather", "tier-1-exchange"},
+		[]float64{0.5, 2.0, 1.25}, 20))
+	section("hbar single sample", HBar("one bar",
+		[]string{"only"}, []float64{3.5}, 12))
+	section("hbar negative and zero", HBar("mixed",
+		[]string{"neg", "zero", "pos"}, []float64{-1.5, 0, 4}, 16))
+	section("hbar all nonpositive", HBar("flat",
+		[]string{"a", "b"}, []float64{-2, 0}, 10))
+	section("hbar nonfinite", HBar("nf",
+		[]string{"nan", "inf", "ok"}, []float64{math.NaN(), math.Inf(1), 1}, 10))
+	section("hbar empty", HBar("void", nil, nil, 10))
+
+	section("intervals basic", Intervals("probe dispersion",
+		[]string{"γ@64k", "ω@64k", "κ@64k"},
+		[]float64{0.10, 0.30, 0.20},
+		[]float64{0.15, 0.50, 0.45},
+		[]float64{0.20, 0.90, 0.70}, 24))
+	section("intervals single sample", Intervals("one row",
+		[]string{"solo"}, []float64{1.5}, []float64{1.5}, []float64{1.5}, 12))
+	section("intervals zero width", Intervals("points",
+		[]string{"a", "b"}, []float64{2, 2}, []float64{2, 2}, []float64{2, 2}, 10))
+	section("intervals negative range", Intervals("negatives",
+		[]string{"below", "cross"},
+		[]float64{-3, -1}, []float64{-2.5, 0}, []float64{-2, 1}, 20))
+	section("intervals partial nonfinite", Intervals("partial",
+		[]string{"bad", "good"},
+		[]float64{math.NaN(), 1}, []float64{math.NaN(), 2}, []float64{math.NaN(), 3}, 14))
+	section("intervals empty", Intervals("void", nil, nil, nil, nil, 10))
+
+	got := b.String()
+	golden := filepath.Join("testdata", "bars_render.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("rendered output drifted from %s (run with -update if intended)\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
