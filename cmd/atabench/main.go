@@ -19,20 +19,22 @@ import (
 	"repro/internal/coll"
 	"repro/internal/exp"
 	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list experiments and exit")
-		expID = flag.String("exp", "", "experiment id to run (e.g. F09, TA, AB2)")
-		all   = flag.Bool("all", false, "run every experiment")
-		full  = flag.Bool("full", false, "paper-scale grids (slow)")
-		scale = flag.Float64("scale", 0, "explicit scale factor (overrides -full)")
-		reps  = flag.Int("reps", 0, "repetitions per point")
-		seed  = flag.Int64("seed", 0, "simulation seed")
-		csv   = flag.Bool("csv", false, "CSV output instead of aligned tables")
-		alg   = flag.String("alg", "postall", "alltoall algorithm: direct|postall|bruck|pairwise")
-		trace = flag.String("trace", "", "write an NDJSON observability trace of the grid experiments' planner runs to this file")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		expID   = flag.String("exp", "", "experiment id to run (e.g. F09, TA, AB2)")
+		all     = flag.Bool("all", false, "run every experiment")
+		full    = flag.Bool("full", false, "paper-scale grids (slow)")
+		scale   = flag.Float64("scale", 0, "explicit scale factor (overrides -full)")
+		reps    = flag.Int("reps", 0, "repetitions per point")
+		seed    = flag.Int64("seed", 0, "simulation seed")
+		csv     = flag.Bool("csv", false, "CSV output instead of aligned tables")
+		alg     = flag.String("alg", "postall", "alltoall algorithm: direct|postall|bruck|pairwise")
+		trace   = flag.String("trace", "", "write an NDJSON observability trace of the grid experiments' planner runs to this file")
+		simMode = flag.String("sim", "packet", "simulation engine for grid planner characterizations: packet|fluid")
 	)
 	flag.Parse()
 
@@ -59,6 +61,12 @@ func main() {
 	if *trace != "" {
 		cfg.Trace = obs.New()
 	}
+	mode, err := sim.ParseMode(*simMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "atabench: %v\n", err)
+		os.Exit(2)
+	}
+	cfg.SimMode = mode
 	switch *alg {
 	case "direct":
 		cfg.Algorithm = coll.Direct

@@ -55,14 +55,12 @@ func main() {
 	// -trace + tracecheck -counter planner.probes=0). See docs/SERVICE.md.
 	var store *grid.CurveStore
 	if *storePath != "" {
-		if f, err := os.Open(*storePath); err == nil {
-			store, err = grid.ReadCurveStore(f)
-			f.Close()
-			if err != nil {
-				panic(err)
-			}
+		st, err := grid.LoadCurveStoreFile(*storePath)
+		switch {
+		case err == nil:
+			store = st
 			fmt.Printf("loaded characterization store %s (%d records)\n\n", *storePath, store.Len())
-		} else if !os.IsNotExist(err) {
+		case !os.IsNotExist(err):
 			panic(err)
 		}
 	}
@@ -246,14 +244,9 @@ func main() {
 		vplan.Alg, hotspot.Total(), measV.Mean())
 
 	if *storePath != "" {
-		f, err := os.Create(*storePath)
-		if err != nil {
-			panic(err)
-		}
-		if err := svc.SaveStore(f); err != nil {
-			panic(err)
-		}
-		if err := f.Close(); err != nil {
+		// SaveFile writes atomically (temp file + rename), so a crash
+		// mid-save never leaves a torn store for the next run to load.
+		if err := svc.Store().SaveFile(*storePath); err != nil {
 			panic(err)
 		}
 		fmt.Printf("\ncharacterization store (%d records) written to %s\n", svc.Store().Len(), *storePath)

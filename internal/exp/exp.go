@@ -24,6 +24,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/obs"
 	"repro/internal/signature"
+	"repro/internal/sim"
 )
 
 // Config controls experiment execution.
@@ -46,6 +47,11 @@ type Config struct {
 	// characterization traces (see grid.Options.Trace); nil disables
 	// tracing.
 	Trace *obs.Collector
+	// SimMode selects the simulation engine for the grid experiments'
+	// planner characterizations (see grid.Options.SimMode): the default
+	// sim.ModePacket, or sim.ModeFluid for analytic pricing of large
+	// WAN transfers.
+	SimMode sim.Mode
 }
 
 // DefaultConfig is the CI-affordable configuration.

@@ -30,10 +30,11 @@ func init() {
 			topo := cluster.Uniform("gr1", p, 2, nodesPer, cluster.DefaultWAN(20*sim.Millisecond)).Tree()
 
 			pl, err := grid.NewPlanner(topo, grid.Options{
-				FitN:  scaleCount(8, cfg.Scale, 8),
-				Trace: cfg.Trace,
-				Reps:  cfg.Reps,
-				Seed:  cfg.Seed + 2,
+				FitN:    scaleCount(8, cfg.Scale, 8),
+				SimMode: cfg.SimMode,
+				Trace:   cfg.Trace,
+				Reps:    cfg.Reps,
+				Seed:    cfg.Seed + 2,
 			})
 			if err != nil {
 				res.Note("planner characterization failed: %v", err)

@@ -33,10 +33,11 @@ func init() {
 				cluster.DefaultWAN(10*sim.Millisecond), cluster.DefaultWAN(40*sim.Millisecond))
 
 			pl, err := grid.NewPlanner(topo, grid.Options{
-				FitN:  scaleCount(6, cfg.Scale, 6),
-				Trace: cfg.Trace,
-				Reps:  cfg.Reps,
-				Seed:  cfg.Seed + 2,
+				FitN:    scaleCount(6, cfg.Scale, 6),
+				SimMode: cfg.SimMode,
+				Trace:   cfg.Trace,
+				Reps:    cfg.Reps,
+				Seed:    cfg.Seed + 2,
 			})
 			if err != nil {
 				res.Note("planner characterization failed: %v", err)

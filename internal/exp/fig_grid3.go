@@ -37,10 +37,11 @@ func init() {
 				cluster.DefaultWAN(10*sim.Millisecond), cluster.DefaultWAN(40*sim.Millisecond))
 
 			pl, err := grid.NewPlanner(topo, grid.Options{
-				FitN:  scaleCount(6, cfg.Scale, 6),
-				Trace: cfg.Trace,
-				Reps:  cfg.Reps,
-				Seed:  cfg.Seed + 3,
+				FitN:    scaleCount(6, cfg.Scale, 6),
+				SimMode: cfg.SimMode,
+				Trace:   cfg.Trace,
+				Reps:    cfg.Reps,
+				Seed:    cfg.Seed + 3,
 			})
 			if err != nil {
 				res.Note("planner characterization failed: %v", err)

@@ -82,10 +82,11 @@ func init() {
 			var scalarAbs, curveAbs []float64
 			for ti, tc := range topos {
 				pl, err := grid.NewPlanner(tc.topo, grid.Options{
-					FitN:  scaleCount(6, cfg.Scale, 6),
-					Trace: cfg.Trace,
-					Reps:  cfg.Reps,
-					Seed:  cfg.Seed + 2,
+					FitN:    scaleCount(6, cfg.Scale, 6),
+					SimMode: cfg.SimMode,
+					Trace:   cfg.Trace,
+					Reps:    cfg.Reps,
+					Seed:    cfg.Seed + 2,
 				})
 				if err != nil {
 					res.Note("%s: planner characterization failed: %v", tc.name, err)

@@ -1,0 +1,94 @@
+package grid
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Fluid-vs-packet engine benchmarks (BENCH_SIM.json). The packet
+// engine's cost scales with segment count — every MSS of a WAN
+// transfer is an event — while the fluid engine prices a transfer in
+// O(flow updates). The headline metric is the cold characterization of
+// a canonical 3-level topology, where WAN probe sweeps dominate the
+// build.
+
+// benchSimTopo3 is the canonical 3-level characterization subject: two
+// national tiers of two campuses of two nodes, 30 ms top / 10 ms
+// inner WAN — the BENCH_SIM.json configuration.
+func benchSimTopo3() cluster.TopoNode {
+	return cluster.ThreeLevel("bench3", wanTunedGE(), 2, 2, 2,
+		cluster.DefaultWAN(30*sim.Millisecond), cluster.DefaultWAN(10*sim.Millisecond))
+}
+
+// benchSimTransfer runs one flat All-to-All at per-pair size m under
+// the given engine — the WAN-transfer-dominated simulation shape.
+func benchSimTransfer(b *testing.B, cfg SimConfig, m int) {
+	topo := testTopo()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateIn(cfg, topo, FlatDirect, m, 7, 1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimTransferPacket256k(b *testing.B) {
+	benchSimTransfer(b, SimConfig{}, 256<<10)
+}
+
+func BenchmarkSimTransferFluid256k(b *testing.B) {
+	benchSimTransfer(b, SimConfig{Mode: sim.ModeFluid}, 256<<10)
+}
+
+func BenchmarkSimTransferPacket1M(b *testing.B) {
+	benchSimTransfer(b, SimConfig{}, 1<<20)
+}
+
+func BenchmarkSimTransferFluid1M(b *testing.B) {
+	benchSimTransfer(b, SimConfig{Mode: sim.ModeFluid}, 1<<20)
+}
+
+// benchSimOptions is a bulk-transfer characterization sweep: WAN
+// curves and strategy probes measured at the sizes grid bulk data
+// movement actually uses (64 KiB – 1 MiB), where the packet engine
+// pays one event per MSS and the fluid engine prices whole flows.
+func benchSimOptions() Options {
+	return Options{
+		FitN:       6,
+		FitSizes:   []int{8 << 10, 16 << 10, 32 << 10, 64 << 10},
+		WANSizes:   []int{64 << 10, 256 << 10, 1 << 20, 2 << 20},
+		ProbeSizes: []int{128 << 10},
+		Reps:       1,
+		Seed:       3,
+	}
+}
+
+// benchSimCharacterize measures a cold characterization (no store) of
+// the canonical 3-level topology under the given engine and worker
+// count — the BENCH_SIM.json headline.
+func benchSimCharacterize(b *testing.B, mode sim.Mode, workers int) {
+	topo := benchSimTopo3()
+	opt := benchSimOptions()
+	opt.SimMode = mode
+	opt.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewPlanner(topo, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimCharacterizationPacket(b *testing.B) {
+	benchSimCharacterize(b, sim.ModePacket, 1)
+}
+
+func BenchmarkSimCharacterizationFluid(b *testing.B) {
+	benchSimCharacterize(b, sim.ModeFluid, 1)
+}
+
+func BenchmarkSimCharacterizationFluidPar(b *testing.B) {
+	benchSimCharacterize(b, sim.ModeFluid, 4)
+}

@@ -21,6 +21,7 @@ package grid
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -29,8 +30,10 @@ import (
 	"repro/internal/coll"
 	"repro/internal/model"
 	"repro/internal/mpi"
+	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/signature"
+	"repro/internal/sim"
 	"repro/internal/transport"
 )
 
@@ -127,6 +130,32 @@ type Options struct {
 	// factor.lookup events into the same trace. Nil disables all
 	// tracing; the disabled paths cost nil checks only.
 	Trace *obs.Collector
+	// SimMode selects the simulation engine for WAN probe and
+	// validation simulations (default sim.ModePacket, the ground
+	// truth). sim.ModeFluid prices large WAN transfers analytically —
+	// much faster, within the model's acceptance tolerance above
+	// FluidThreshold — and changes fitted values, so it is part of the
+	// store fingerprint. LAN-only simulations (leaf signature fits,
+	// headroom probes) are unaffected: the fluid path only engages on
+	// WAN-crossing transfers.
+	SimMode sim.Mode
+	// FluidThreshold is the payload-byte cutoff below which fluid-mode
+	// simulations still run packet-level (default
+	// netsim.DefaultFluidThreshold = 32 KiB, the RTO-noisy regime of
+	// docs/MODEL.md §6). Ignored under ModePacket.
+	FluidThreshold int
+	// Workers bounds the probe worker pool: independent probe
+	// simulations (per-seed, per-size) fan out across up to Workers
+	// goroutines, each on its own Simulator. Default
+	// runtime.GOMAXPROCS(0); 1 forces fully sequential execution.
+	// Fitted results are bit-identical for any Workers value, so it is
+	// excluded from the store fingerprint.
+	Workers int
+	// CacheCap bounds Service's planner cache: past CacheCap cached
+	// planners, the least-recently-used ready entry is evicted (and
+	// rebuilds warm from the store if asked for again). Default 256.
+	// Excluded from the store fingerprint.
+	CacheCap int
 }
 
 func (o Options) withDefaults() Options {
@@ -159,6 +188,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.StableSpread == 0 {
 		o.StableSpread = 0.5
+	}
+	if o.FluidThreshold == 0 {
+		o.FluidThreshold = netsim.DefaultFluidThreshold
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.CacheCap == 0 {
+		o.CacheCap = 256
 	}
 	o.FitSizes = sortedDistinct(o.FitSizes)
 	o.WANSizes = sortedDistinct(o.WANSizes)
@@ -211,6 +249,15 @@ func (o Options) validate() error {
 	if o.StableSpread <= 0 || math.IsNaN(o.StableSpread) || math.IsInf(o.StableSpread, 0) {
 		return fmt.Errorf("grid: StableSpread %v is not a positive finite threshold", o.StableSpread)
 	}
+	if o.FluidThreshold < 0 {
+		return fmt.Errorf("grid: FluidThreshold %d is negative", o.FluidThreshold)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("grid: Workers %d is negative", o.Workers)
+	}
+	if o.CacheCap < 0 {
+		return fmt.Errorf("grid: CacheCap %d is negative", o.CacheCap)
+	}
 	return nil
 }
 
@@ -218,11 +265,43 @@ func (o Options) validate() error {
 // store's compatibility key: two planners may share fitted curves only
 // when every probe sweep, cap, and seed matches — the fitted values are
 // functions of all of them. Trace is excluded (tracing never perturbs
-// fits; see TestTracingDoesNotPerturbResults). Call after withDefaults.
+// fits; see TestTracingDoesNotPerturbResults), as are Workers and
+// CacheCap (parallel characterization is pinned bit-identical to
+// sequential, and the cache cap never touches fitted values). SimMode
+// is included when fluid — fluid-mode fits are a different (cheaper)
+// measurement — with the packet-mode rendering kept byte-identical to
+// the pre-fluid format so existing stores stay valid. Call after
+// withDefaults.
 func (o Options) fingerprint() string {
-	return fmt.Sprintf("fitn=%d fit=%v wan=%v probes=%v psize=%d pcap=%d maxc=%d reps=%d seed=%d stable=%g",
+	fp := fmt.Sprintf("fitn=%d fit=%v wan=%v probes=%v psize=%d pcap=%d maxc=%d reps=%d seed=%d stable=%g",
 		o.FitN, o.FitSizes, o.WANSizes, o.ProbeSizes, o.ProbeSize, o.ProbeCap,
 		o.MaxCoords, o.Reps, o.Seed, o.StableSpread)
+	if o.SimMode == sim.ModeFluid {
+		fp += fmt.Sprintf(" mode=fluid thr=%d", o.FluidThreshold)
+	}
+	return fp
+}
+
+// SimConfig selects the simulation engine a ground-truth run uses.
+// The zero value is full packet-level simulation.
+type SimConfig struct {
+	// Mode is the engine (packet or fluid).
+	Mode sim.Mode
+	// FluidThreshold is the packet-fallback byte cutoff under
+	// ModeFluid; zero selects netsim.DefaultFluidThreshold.
+	FluidThreshold int
+}
+
+// simCfg extracts the engine selection from planner options.
+func (o Options) simCfg() SimConfig {
+	return SimConfig{Mode: o.SimMode, FluidThreshold: o.FluidThreshold}
+}
+
+// applySimConfig arms the selected engine on a freshly built grid.
+func applySimConfig(g *cluster.Grid, sc SimConfig) {
+	if sc.Mode == sim.ModeFluid {
+		g.Env.Net.EnableFluid(netsim.FluidConfig{Threshold: sc.FluidThreshold})
+	}
 }
 
 // probeSeeds returns the candidate seeds a contention-factor probe may
@@ -333,7 +412,7 @@ func newPlannerWithStore(topo cluster.TopoNode, opt Options, st *CurveStore) (*P
 		return nil, err
 	}
 
-	pl := &Planner{Topo: topo, opt: opt, sv: &storeView{st: st, c: opt.Trace}}
+	pl := &Planner{Topo: topo, opt: opt, sv: newStoreView(st, opt.Trace)}
 	rootSpan := opt.Trace.Span("planner.characterize",
 		obs.Str("topo", topo.Name), obs.Int("leaves", topo.NumLeaves()),
 		obs.Int("nodes", topo.TotalNodes()))
@@ -358,14 +437,23 @@ func newPlannerWithStore(topo cluster.TopoNode, opt Options, st *CurveStore) (*P
 		}
 		sp := rootSpan.Span("planner.leaf_fit", obs.Str("profile", p.Name), obs.Int("fit_n", opt.FitN))
 		h := calib.PingPong(p, mpi.Config{}, opt.Seed, calib.PingPongConfig{Reps: 3})
-		samples := make([]signature.Sample, 0, len(opt.FitSizes))
-		for i, m := range opt.FitSizes {
+		// The per-size sweep simulations are independent (each builds
+		// its own cluster and Simulator from a size-indexed seed), so
+		// they fan out across the worker pool; events are emitted by
+		// this goroutine afterwards, in size order, so traces stay
+		// deterministic.
+		times := make([]float64, len(opt.FitSizes))
+		parallelDo(opt.Workers, len(opt.FitSizes), func(i int) {
+			m := opt.FitSizes[i]
 			cl := cluster.Build(p, opt.FitN, opt.Seed+int64(i)*101)
-			t := measureEnv(opt.Trace, cl, 1, opt.Reps, func(r *mpi.Rank) {
+			times[i] = measureEnv(opt.Trace, cl, 1, opt.Reps, func(r *mpi.Rank) {
 				coll.Alltoall(r, m, coll.PostAll)
 			})
-			sp.Event("fit.sample", obs.Int("size", m), obs.F64("t_s", t))
-			samples = append(samples, signature.Sample{M: m, T: t})
+		})
+		samples := make([]signature.Sample, 0, len(opt.FitSizes))
+		for i, m := range opt.FitSizes {
+			sp.Event("fit.sample", obs.Int("size", m), obs.F64("t_s", times[i]))
+			samples = append(samples, signature.Sample{M: m, T: times[i]})
 		}
 		sig, _, err := signature.Fit(h, opt.FitN, samples, signature.Options{})
 		if err != nil {
@@ -507,6 +595,7 @@ func characterizeTier(full cluster.TopoNode, node cluster.TopoNode, a, b int, op
 		return model.WANModel{}, err
 	}
 	g.Env.Net.AttachCollector(opt.Trace)
+	applySimConfig(g, opt.simCfg())
 	// Sort and deduplicate defensively (validate already rejects sweeps
 	// with < 2 distinct sizes): duplicate sizes would measure curve
 	// points with equal Bytes, whose zero-width segments Transfer can
@@ -755,18 +844,28 @@ func (pl *Planner) fitTierGammas(topo cluster.TopoNode, mod *model.ModelNode, ca
 	sp := parent.Span("tier.fit_gamma", obs.Str("tier", topo.Name), obs.Int("height", topo.Height()))
 	defer sp.End()
 	probeModel := model.GridModel{Root: cappedModel(mod, opt.ProbeCap)}
+	// Per-size probes are independent (each seed builds its own grid
+	// and Simulator), so the whole (size × seed) batch fans out across
+	// the worker pool; recordProbe/fit.point events follow in size
+	// order from this goroutine, bit-identical to sequential runs.
+	probes := make([]*probeRun, len(opt.ProbeSizes))
+	for i, p := range opt.ProbeSizes {
+		m := p
+		probes[i] = &probeRun{baseSeed: opt.Seed + 53, run: func(sd int64) (float64, error) {
+			return simulateObsIn(opt.Trace, opt.simCfg(), probeTopo, FlatDirect, m, sd, 1, opt.Reps)
+		}}
+	}
+	runProbes(opt.Workers, opt.StableSpread, probes)
 	points := make([]model.FactorPoint, 0, len(opt.ProbeSizes))
-	for _, p := range opt.ProbeSizes {
-		sim, seedTimes, err := probeTypical(opt.Seed+53, opt.StableSpread, func(sd int64) (float64, error) {
-			return simulateObs(opt.Trace, probeTopo, FlatDirect, p, sd, 1, opt.Reps)
-		})
-		if err != nil {
-			return err
+	for i, p := range opt.ProbeSizes {
+		pr := probes[i]
+		if pr.err != nil {
+			return pr.err
 		}
-		pl.recordProbe(sp, "gamma_wan", topo.Name, "characterize", p, opt.Seed+53, seedTimes)
+		pl.recordProbe(sp, "gamma_wan", topo.Name, "characterize", p, opt.Seed+53, pr.times)
 		gamma := 1.0
 		if fixed, startup, rootWan := probeModel.FlatParts(p); rootWan > 0 {
-			gamma = clampGamma((sim - fixed - startup) / rootWan)
+			gamma = clampGamma((pr.median - fixed - startup) / rootWan)
 		}
 		sp.Event("fit.point", obs.Str("factor", "gamma_wan"), obs.Int("size", p), obs.F64("value", gamma))
 		points = append(points, model.FactorPoint{Bytes: p, Factor: gamma})
@@ -807,37 +906,53 @@ func (pl *Planner) fitStrategyFactors(topo cluster.TopoNode, gm model.GridModel,
 	sp := parent.Span("planner.fit_strategy", obs.Int("probe_cap", opt.ProbeCap))
 	defer sp.End()
 
+	// Both strategies × all sizes fan out as one probe batch; results
+	// are then folded in the legacy order (per size: ω probe, κ probe,
+	// overlap check) so events, ProbeStats and Warnings are
+	// bit-identical to sequential runs.
+	hdProbes := make([]*probeRun, len(opt.ProbeSizes))
+	hgProbes := make([]*probeRun, len(opt.ProbeSizes))
+	for i, p := range opt.ProbeSizes {
+		m := p
+		hdProbes[i] = &probeRun{baseSeed: opt.Seed + 71, run: func(sd int64) (float64, error) {
+			return simulateObsIn(opt.Trace, opt.simCfg(), probeTopo, HierDirect, m, sd, 1, opt.Reps)
+		}}
+		hgProbes[i] = &probeRun{baseSeed: opt.Seed + 89, run: func(sd int64) (float64, error) {
+			return simulateObsIn(opt.Trace, opt.simCfg(), probeTopo, HierGather, m, sd, 1, opt.Reps)
+		}}
+	}
+	batch := make([]*probeRun, 0, 2*len(opt.ProbeSizes))
+	for i := range opt.ProbeSizes {
+		batch = append(batch, hdProbes[i], hgProbes[i])
+	}
+	runProbes(opt.Workers, opt.StableSpread, batch)
+
 	var omegaPts, kappaPts []model.FactorPoint
-	for _, p := range opt.ProbeSizes {
-		simHD, hdTimes, err := probeTypical(opt.Seed+71, opt.StableSpread, func(sd int64) (float64, error) {
-			return simulateObs(opt.Trace, probeTopo, HierDirect, p, sd, 1, opt.Reps)
-		})
-		if err != nil {
-			return model.FactorCurve{}, model.FactorCurve{}, err
+	for i, p := range opt.ProbeSizes {
+		hd, hg := hdProbes[i], hgProbes[i]
+		if hd.err != nil {
+			return model.FactorCurve{}, model.FactorCurve{}, hd.err
 		}
-		pl.recordProbe(sp, "omega", "", "characterize", p, opt.Seed+71, hdTimes)
+		pl.recordProbe(sp, "omega", "", "characterize", p, opt.Seed+71, hd.times)
 		o := 1.0
 		if phase0, xchg, scatter := probeModel.HierDirectParts(p); xchg > 0 {
-			o = clampGamma((simHD - phase0 - scatter) / xchg)
+			o = clampGamma((hd.median - phase0 - scatter) / xchg)
 		}
 		sp.Event("fit.point", obs.Str("factor", "omega"), obs.Int("size", p), obs.F64("value", o))
 		omegaPts = append(omegaPts, model.FactorPoint{Bytes: p, Factor: o})
 
-		simHG, hgTimes, err := probeTypical(opt.Seed+89, opt.StableSpread, func(sd int64) (float64, error) {
-			return simulateObs(opt.Trace, probeTopo, HierGather, p, sd, 1, opt.Reps)
-		})
-		if err != nil {
-			return model.FactorCurve{}, model.FactorCurve{}, err
+		if hg.err != nil {
+			return model.FactorCurve{}, model.FactorCurve{}, hg.err
 		}
-		pl.recordProbe(sp, "kappa", "", "characterize", p, opt.Seed+89, hgTimes)
+		pl.recordProbe(sp, "kappa", "", "characterize", p, opt.Seed+89, hg.times)
 		k := 1.0
 		if intra, xchg, local := probeModel.HierGatherParts(p); local > 0 {
-			k = clampGamma((simHG - intra - xchg) / local)
+			k = clampGamma((hg.median - intra - xchg) / local)
 		}
 		sp.Event("fit.point", obs.Str("factor", "kappa"), obs.Int("size", p), obs.F64("value", k))
 		kappaPts = append(kappaPts, model.FactorPoint{Bytes: p, Factor: k})
 
-		pl.checkOverlap(sp, "characterize", p, hdTimes, hgTimes)
+		pl.checkOverlap(sp, "characterize", p, hd.times, hg.times)
 	}
 	omega, kappa = model.CurveOf(omegaPts...), model.CurveOf(kappaPts...)
 	pl.sv.putStrategy(skey, storedStrategy{Omega: omega, Kappa: kappa})
@@ -895,14 +1010,27 @@ func Simulate(topo cluster.TopoNode, strat Strategy, m int, seed int64, warmup, 
 	return simulateObs(nil, topo, strat, m, seed, warmup, reps)
 }
 
+// SimulateIn is Simulate under an explicit engine selection: the fluid
+// agreement tests and benchmarks compare SimulateIn(fluid) against the
+// packet-mode Simulate on identical arguments.
+func SimulateIn(cfg SimConfig, topo cluster.TopoNode, strat Strategy, m int, seed int64, warmup, reps int) (float64, error) {
+	return simulateObsIn(nil, cfg, topo, strat, m, seed, warmup, reps)
+}
+
 // simulateObs is Simulate with an optional trace collector: the
 // planner's probe loops route through it so probe simulations feed the
 // aggregate counters (probe count, sim events, transport recovery).
 func simulateObs(c *obs.Collector, topo cluster.TopoNode, strat Strategy, m int, seed int64, warmup, reps int) (float64, error) {
+	return simulateObsIn(c, SimConfig{}, topo, strat, m, seed, warmup, reps)
+}
+
+// simulateObsIn is simulateObs under an explicit engine selection.
+func simulateObsIn(c *obs.Collector, sc SimConfig, topo cluster.TopoNode, strat Strategy, m int, seed int64, warmup, reps int) (float64, error) {
 	g, err := cluster.BuildGridTree(topo, seed)
 	if err != nil {
 		return 0, err
 	}
+	applySimConfig(g, sc)
 	var op func(r *mpi.Rank)
 	switch strat {
 	case FlatDirect:

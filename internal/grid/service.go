@@ -30,6 +30,14 @@ type Service struct {
 
 	mu      sync.Mutex
 	entries map[string]*serviceEntry
+	// tick is a logical clock for LRU eviction: it advances on every
+	// cache touch, and each entry remembers the tick of its last use.
+	// The cache is bounded at opt.CacheCap entries; inserting past the
+	// cap evicts the least-recently-used ready entry (in-flight builds
+	// are never evicted — waiters hold their channel). Evicted planners
+	// are not lost work: the store keeps every fitted record, so a
+	// re-requested topology rebuilds warm, without probe simulations.
+	tick uint64
 }
 
 // serviceEntry is one cached planner build. ready closes when the
@@ -42,6 +50,9 @@ type serviceEntry struct {
 	mu    sync.RWMutex
 	pl    *Planner
 	err   error
+	// lastUsed is the service tick of the entry's most recent touch,
+	// read and written under Service.mu.
+	lastUsed uint64
 }
 
 // NewService returns a service over a fresh in-memory store.
@@ -93,20 +104,53 @@ func (s *Service) PlannerFor(topo cluster.TopoNode) (*Planner, error) {
 }
 
 // entryFor returns the topology's entry, building it single-flight.
+// Every hit or insert stamps the entry's LRU tick; an insert past
+// Options.CacheCap evicts the least-recently-used ready entry first.
 func (s *Service) entryFor(topo cluster.TopoNode) *serviceEntry {
 	key := topoKey(topo)
 	s.mu.Lock()
+	s.tick++
 	if e, ok := s.entries[key]; ok {
+		e.lastUsed = s.tick
 		s.mu.Unlock()
 		<-e.ready
 		return e
 	}
-	e := &serviceEntry{ready: make(chan struct{})}
+	e := &serviceEntry{ready: make(chan struct{}), lastUsed: s.tick}
 	s.entries[key] = e
+	s.evictLocked()
 	s.mu.Unlock()
 	e.pl, e.err = newPlannerWithStore(topo, s.opt, s.store)
 	close(e.ready)
 	return e
+}
+
+// evictLocked drops least-recently-used ready entries until the cache
+// fits opt.CacheCap. Called with s.mu held. Only ready entries are
+// candidates: evicting an in-flight build would strand its waiters and
+// duplicate the probes it is already running.
+func (s *Service) evictLocked() {
+	for len(s.entries) > s.opt.CacheCap {
+		var victimKey string
+		var victim *serviceEntry
+		for k, e := range s.entries {
+			select {
+			case <-e.ready:
+			default:
+				continue // in-flight: never evicted
+			}
+			if victim == nil || e.lastUsed < victim.lastUsed {
+				victimKey, victim = k, e
+			}
+		}
+		if victim == nil {
+			return // everything in flight; retry on the next insert
+		}
+		delete(s.entries, victimKey)
+		if s.opt.Trace != nil {
+			s.opt.Trace.Add(CtrServiceEvict, 1)
+		}
+	}
 }
 
 // Predict returns every strategy's predicted completion time for an
@@ -195,9 +239,10 @@ func (s *Service) SelectCoordinatorsV(topo cluster.TopoNode, sz coll.SizeMatrix)
 // TierKey). Cached planners whose topology contains the tier are
 // dropped too; their next PlannerFor re-fits incrementally, reusing
 // every surviving record. Builds already in flight when Invalidate
-// runs may still complete and re-insert records fitted from the
-// pre-invalidation simulations; invalidate before issuing the queries
-// that must observe the refit.
+// runs complete with their own (pre-invalidation) fits, but the
+// store's build-epoch guard bars them from writing those fits back
+// (counted under store.stale_drop) — the next build after the
+// invalidation always re-probes the invalidated records.
 func (s *Service) Invalidate(tierKey string) int {
 	if tierKey == "" {
 		return 0

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 
@@ -56,6 +58,11 @@ type CurveStore struct {
 	tiers      map[string]storedTier
 	gammas     map[string]model.FactorCurve
 	strategies map[string]storedStrategy
+	// epoch is the build-epoch guard against the Invalidate race: every
+	// Invalidate bumps it, and a put carrying an older epoch (a build
+	// that started before the invalidation) is dropped instead of
+	// re-inserting records fitted from pre-invalidation simulations.
+	epoch uint64
 }
 
 // StoreVersion is the serialized store's schema version. Load rejects
@@ -139,12 +146,20 @@ func (s *CurveStore) Len() int {
 // so the next planner build re-probes only what the invalidation
 // actually touched — the incremental re-fit path. Returns the number of
 // records dropped.
+//
+// Invalidate also advances the store's build epoch: a planner build
+// that started before the invalidation carries the old epoch and its
+// write-backs are silently dropped (counted under store.stale_drop), so
+// an in-flight build can never re-insert records fitted from
+// pre-invalidation simulations. The epoch bumps even when zero records
+// match — the in-flight build may not have written its records yet.
 func (s *CurveStore) Invalidate(tierKey string) int {
 	if tierKey == "" {
 		return 0
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.epoch++
 	n := 0
 	for k := range s.tiers {
 		if strings.Contains(k, tierKey) {
@@ -167,7 +182,19 @@ func (s *CurveStore) Invalidate(tierKey string) int {
 	return n
 }
 
-// leaf / putLeaf access one member network's characterization.
+// curEpoch returns the store's current build epoch. Builds snapshot it
+// when they start (storeView); puts carrying an older epoch are
+// dropped.
+func (s *CurveStore) curEpoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+// leaf / putLeaf access one member network's characterization. Every
+// put carries the writing build's epoch snapshot and reports whether
+// the record was stored (false: the build is stale — an Invalidate
+// happened after it started).
 func (s *CurveStore) leaf(key string) (storedLeaf, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -175,10 +202,14 @@ func (s *CurveStore) leaf(key string) (storedLeaf, bool) {
 	return v, ok
 }
 
-func (s *CurveStore) putLeaf(key string, v storedLeaf) {
+func (s *CurveStore) putLeaf(epoch uint64, key string, v storedLeaf) bool {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch != s.epoch {
+		return false
+	}
 	s.leaves[key] = v
-	s.mu.Unlock()
+	return true
 }
 
 // headroomFor / putHeadroom access one (profile, size) headroom probe.
@@ -189,10 +220,14 @@ func (s *CurveStore) headroomFor(key string) ([]float64, bool) {
 	return v, ok
 }
 
-func (s *CurveStore) putHeadroom(key string, rates []float64) {
+func (s *CurveStore) putHeadroom(epoch uint64, key string, rates []float64) bool {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch != s.epoch {
+		return false
+	}
 	s.headroom[key] = append([]float64(nil), rates...)
-	s.mu.Unlock()
+	return true
 }
 
 // tier / putTier access one tier's measured WAN transfer curve.
@@ -203,10 +238,14 @@ func (s *CurveStore) tier(key string) (storedTier, bool) {
 	return v, ok
 }
 
-func (s *CurveStore) putTier(key string, v storedTier) {
+func (s *CurveStore) putTier(epoch uint64, key string, v storedTier) bool {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch != s.epoch {
+		return false
+	}
 	s.tiers[key] = v
-	s.mu.Unlock()
+	return true
 }
 
 // gamma / putGamma access one tier's fitted γ_wan curve.
@@ -217,10 +256,14 @@ func (s *CurveStore) gamma(key string) (model.FactorCurve, bool) {
 	return v, ok
 }
 
-func (s *CurveStore) putGamma(key string, c model.FactorCurve) {
+func (s *CurveStore) putGamma(epoch uint64, key string, c model.FactorCurve) bool {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch != s.epoch {
+		return false
+	}
 	s.gammas[key] = c
-	s.mu.Unlock()
+	return true
 }
 
 // strategy / putStrategy access one whole-topology ω/κ fit ("S|" keys)
@@ -232,10 +275,14 @@ func (s *CurveStore) strategy(key string) (storedStrategy, bool) {
 	return v, ok
 }
 
-func (s *CurveStore) putStrategy(key string, v storedStrategy) {
+func (s *CurveStore) putStrategy(epoch uint64, key string, v storedStrategy) bool {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch != s.epoch {
+		return false
+	}
 	s.strategies[key] = v
-	s.mu.Unlock()
+	return true
 }
 
 // WriteJSON serializes the store. The output is deterministic — map
@@ -263,6 +310,55 @@ func (s *CurveStore) WriteJSON(w io.Writer) error {
 	return err
 }
 
+// SaveFile atomically writes the store to path: the JSON form goes to a
+// temp file in the same directory, is synced, and is renamed over path,
+// so a crash mid-save (or a concurrent reader/saver) observes either
+// the old complete file or the new complete file — never a torn one.
+func (s *CurveStore) SaveFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("grid: saving store: %w", err)
+	}
+	tmpName := tmp.Name()
+	if err := s.WriteJSON(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("grid: saving store to %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("grid: saving store to %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("grid: saving store to %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("grid: saving store to %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadCurveStoreFile loads a store saved by SaveFile (or WriteJSON),
+// with ReadCurveStore's full validation. A missing file returns the
+// os.Open error unwrapped, so callers can keep their os.IsNotExist
+// handling.
+func LoadCurveStoreFile(path string) (*CurveStore, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := ReadCurveStore(f)
+	if err != nil {
+		return nil, fmt.Errorf("grid: loading store %s: %w", path, err)
+	}
+	return st, nil
+}
+
 // ReadCurveStore deserializes a store written by WriteJSON, validating
 // the schema version and every curve before any record becomes
 // servable: a version drift or a corrupt curve (non-finite, mis-ordered
@@ -272,7 +368,13 @@ func ReadCurveStore(r io.Reader) (*CurveStore, error) {
 	var f storeFile
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&f); err != nil {
-		return nil, fmt.Errorf("grid: store is not valid JSON: %w", err)
+		return nil, fmt.Errorf("grid: store is not valid JSON (truncated or torn write?): %w", err)
+	}
+	// A complete save is exactly one JSON document plus whitespace;
+	// anything after it means a torn or concatenated write, and
+	// partially applying records would mispredict silently.
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("grid: store has trailing data after the JSON document (torn or concatenated write?)")
 	}
 	if f.Version != StoreVersion {
 		return nil, fmt.Errorf("grid: store schema version %d, this build reads version %d — refit the store",
@@ -343,10 +445,34 @@ func finiteF64(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 //
 // The view itself is used by one build at a time (hits/misses are not
 // locked); only the underlying CurveStore is shared between builds.
+//
+// The view snapshots the store's build epoch at creation. Puts carry
+// the snapshot and the store drops those from a stale epoch — a build
+// racing an Invalidate keeps its own (pre-invalidation) fitted values
+// but never writes them back. Dropped writes are counted under
+// store.stale_drop.
 type storeView struct {
 	st           *CurveStore
 	c            *obs.Collector
+	epoch        uint64
 	hits, misses int
+}
+
+// newStoreView opens one build's window onto st (nil-tolerant),
+// snapshotting the current build epoch.
+func newStoreView(st *CurveStore, c *obs.Collector) *storeView {
+	v := &storeView{st: st, c: c}
+	if st != nil {
+		v.epoch = st.curEpoch()
+	}
+	return v
+}
+
+// noteStale counts one epoch-dropped write-back.
+func (v *storeView) noteStale() {
+	if v.c != nil {
+		v.c.Add(CtrStoreStale, 1)
+	}
 }
 
 // record tallies one lookup and emits its store.hit/store.miss event
@@ -397,8 +523,8 @@ func (v *storeView) leaf(sp *obs.Span, key string) (storedLeaf, bool) {
 }
 
 func (v *storeView) putLeaf(key string, rec storedLeaf) {
-	if v != nil && v.st != nil {
-		v.st.putLeaf(key, rec)
+	if v != nil && v.st != nil && !v.st.putLeaf(v.epoch, key, rec) {
+		v.noteStale()
 	}
 }
 
@@ -412,8 +538,8 @@ func (v *storeView) headroom(sp *obs.Span, key string) ([]float64, bool) {
 }
 
 func (v *storeView) putHeadroom(key string, rates []float64) {
-	if v != nil && v.st != nil {
-		v.st.putHeadroom(key, rates)
+	if v != nil && v.st != nil && !v.st.putHeadroom(v.epoch, key, rates) {
+		v.noteStale()
 	}
 }
 
@@ -427,8 +553,8 @@ func (v *storeView) tier(sp *obs.Span, key string) (storedTier, bool) {
 }
 
 func (v *storeView) putTier(key string, rec storedTier) {
-	if v != nil && v.st != nil {
-		v.st.putTier(key, rec)
+	if v != nil && v.st != nil && !v.st.putTier(v.epoch, key, rec) {
+		v.noteStale()
 	}
 }
 
@@ -442,8 +568,8 @@ func (v *storeView) gamma(sp *obs.Span, key string) (model.FactorCurve, bool) {
 }
 
 func (v *storeView) putGamma(key string, c model.FactorCurve) {
-	if v != nil && v.st != nil {
-		v.st.putGamma(key, c)
+	if v != nil && v.st != nil && !v.st.putGamma(v.epoch, key, c) {
+		v.noteStale()
 	}
 }
 
@@ -461,7 +587,7 @@ func (v *storeView) strategy(sp *obs.Span, key string) (storedStrategy, bool) {
 }
 
 func (v *storeView) putStrategy(key string, rec storedStrategy) {
-	if v != nil && v.st != nil {
-		v.st.putStrategy(key, rec)
+	if v != nil && v.st != nil && !v.st.putStrategy(v.epoch, key, rec) {
+		v.noteStale()
 	}
 }

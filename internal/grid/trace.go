@@ -48,6 +48,13 @@ const (
 	// misses — incremental re-fits that re-probed only the records the
 	// store lacked (typically after CurveStore.Invalidate).
 	CtrStoreRefit = "store.refit"
+	// CtrStoreStale counts write-backs dropped by the build-epoch guard:
+	// a planner build that raced a CurveStore.Invalidate finished with
+	// pre-invalidation fits and was barred from re-inserting them.
+	CtrStoreStale = "store.stale_drop"
+	// CtrServiceEvict counts planner-cache evictions in grid.Service
+	// (least-recently-used past Options.CacheCap).
+	CtrServiceEvict = "service.evict"
 )
 
 // ProbeWarning flags a seed-lottery strategy probe: at Size, the two

@@ -1,0 +1,373 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Flow-level ("fluid") transfer pricing. Instead of serializing every
+// segment and ACK through the event loop, a large steady-state transfer
+// becomes a single flow with a byte count and an instantaneous rate.
+// Rates are recomputed by deterministic max-min fair sharing over the
+// links each flow crosses whenever the flow set changes, so concurrent
+// flows still contend for WAN capacity — just at flow granularity
+// instead of packet granularity. Transports opt in per transfer (see
+// transport.TCPConfig and the eligibility rules in the tcp fluid hook);
+// everything below the configured byte threshold keeps the packet
+// engine, because the RTO-noisy small-transfer regime (docs/MODEL.md
+// §6) has no steady state for a fluid model to price.
+
+// DefaultFluidThreshold is the transfer size, in payload bytes, at and
+// below which fluid-enabled networks still simulate packet-by-packet.
+// 32 KiB matches the RTO-noisy regime boundary in docs/MODEL.md §6:
+// below it, completion time is dominated by slow-start and timeout
+// draws, not steady-state throughput.
+const DefaultFluidThreshold = 32 << 10
+
+// FluidConfig configures the flow-level pricer.
+type FluidConfig struct {
+	// Threshold is the payload-byte cutoff: transfers of Threshold
+	// bytes or fewer stay packet-level. Zero selects
+	// DefaultFluidThreshold.
+	Threshold int
+}
+
+// fluidState is the per-network flow table.
+type fluidState struct {
+	threshold int
+	nextID    uint64
+	flows     []*fluidFlow
+
+	ctrFlows, ctrBytes *obs.Counter
+}
+
+// fluidFlow is one in-flight analytic transfer.
+type fluidFlow struct {
+	id      uint64
+	links   []*egress // links crossed, in path order
+	latency sim.Time  // one-way path latency (propagation + processing)
+	remain  float64   // wire bytes still to carry
+	capRate float64   // flow's own rate ceiling (window/RTT, rx CPU)
+	rate    float64   // current allocated rate, bytes/s
+	last    sim.Time  // sim time rate/remain were last settled
+	gen     uint64    // invalidates stale completion timers
+	drained func()    // last byte entered the pipe (source side free)
+	done    func()    // last byte arrived (drained + path latency)
+}
+
+// EnableFluid turns on flow-level pricing for this network. Call any
+// time after New; composes with AttachCollector in either order. Large
+// transfers are only actually priced fluidly when a transport asks for
+// it via StartFluidFlow — enabling the mode changes nothing by itself.
+func (n *Network) EnableFluid(cfg FluidConfig) {
+	thr := cfg.Threshold
+	if thr == 0 {
+		thr = DefaultFluidThreshold
+	}
+	n.fluid = &fluidState{threshold: thr}
+	if n.obsC != nil {
+		n.fluid.ctrFlows = n.obsC.Counter(CtrFluidFlows)
+		n.fluid.ctrBytes = n.obsC.Counter(CtrFluidBytes)
+	}
+}
+
+// FluidThreshold returns the payload-byte threshold above which
+// transfers may be priced fluidly, or 0 when fluid mode is disabled.
+func (n *Network) FluidThreshold() int {
+	if n.fluid == nil {
+		return 0
+	}
+	return n.fluid.threshold
+}
+
+// PathInfo summarizes the routed path between two hosts, as needed by a
+// transport to decide fluid eligibility and derive a flow's rate cap.
+type PathInfo struct {
+	// Bottleneck is the minimum link rate along the path, bytes/s.
+	Bottleneck int64
+	// Latency is the one-way path latency: link propagation plus
+	// router processing delays.
+	Latency sim.Time
+	// SerialPerByte is the summed per-byte serialization time across
+	// all hops (store-and-forward adds one packet serialization per
+	// hop).
+	SerialPerByte float64
+	// MinBuffer is the smallest finite lossy egress buffer on the
+	// path in bytes, or 0 if every egress is unbounded or lossless.
+	MinBuffer int
+	// Hops is the number of links crossed.
+	Hops int
+	// CrossesWAN reports whether any link is a router→router WAN link.
+	CrossesWAN bool
+	// RxCost is the destination host's per-packet receive CPU cost.
+	RxCost sim.Time
+}
+
+// PathInfo computes the routed path summary from src to dst. The bool
+// result is false when no route exists or routes were not computed.
+func (n *Network) PathInfo(src, dst NodeID) (PathInfo, bool) {
+	var pi PathInfo
+	if int(src) >= len(n.hosts) || int(dst) >= len(n.hosts) || src == dst {
+		return pi, false
+	}
+	cur := n.hosts[src]
+	pi.Bottleneck = math.MaxInt64
+	for !(cur.isHost && cur.id == dst) {
+		if cur.routes == nil {
+			return PathInfo{}, false
+		}
+		e := cur.routes[dst]
+		if e == nil {
+			return PathInfo{}, false
+		}
+		pi.Hops++
+		if pi.Hops > len(n.devices) {
+			return PathInfo{}, false // routing loop
+		}
+		pi.Latency += e.latency
+		if e.rate > 0 {
+			pi.SerialPerByte += 1.0 / float64(e.rate)
+			if e.rate < pi.Bottleneck {
+				pi.Bottleneck = e.rate
+			}
+		}
+		if !e.lossless && e.capBytes > 0 && (pi.MinBuffer == 0 || e.capBytes < pi.MinBuffer) {
+			pi.MinBuffer = e.capBytes
+		}
+		if e.wan {
+			pi.CrossesWAN = true
+		}
+		cur = e.peer
+		if !cur.isHost {
+			pi.Latency += cur.procDelay
+		}
+	}
+	if pi.Bottleneck == math.MaxInt64 {
+		pi.Bottleneck = 0
+	}
+	pi.RxCost = n.hosts[dst].rxCost
+	return pi, true
+}
+
+// StartFluidFlow injects an analytic transfer of wireBytes from src to
+// dst, rate-capped at capRate bytes/s (the transport's window/RTT and
+// receive-CPU ceiling). drained fires when the last byte has entered
+// the pipe — the moment a byte-stream sender would start its next
+// message — and done fires one path latency later, when that byte
+// arrives. Either callback may be nil. It panics if fluid mode is
+// disabled or no route exists, mirroring Inject's contract.
+func (n *Network) StartFluidFlow(src, dst NodeID, wireBytes int64, capRate float64, drained, done func()) {
+	fl := n.fluid
+	if fl == nil {
+		panic("netsim: StartFluidFlow with fluid mode disabled")
+	}
+	links, latency := n.fluidPath(src, dst)
+	if capRate <= 0 || wireBytes <= 0 {
+		panic(fmt.Sprintf("netsim: StartFluidFlow invalid capRate=%g wireBytes=%d", capRate, wireBytes))
+	}
+	fl.nextID++
+	f := &fluidFlow{
+		id: fl.nextID, links: links, latency: latency,
+		remain: float64(wireBytes), capRate: capRate,
+		last: n.sim.Now(), drained: drained, done: done,
+	}
+	fl.flows = append(fl.flows, f)
+	if fl.ctrFlows != nil {
+		fl.ctrFlows.Add(1)
+		fl.ctrBytes.Add(uint64(wireBytes))
+	}
+	n.fluidRecompute()
+}
+
+// fluidPath collects the egress list and latency from src to dst.
+func (n *Network) fluidPath(src, dst NodeID) ([]*egress, sim.Time) {
+	cur := n.hosts[src]
+	var links []*egress
+	var latency sim.Time
+	for !(cur.isHost && cur.id == dst) {
+		e := cur.routes[dst]
+		if e == nil {
+			panic(fmt.Sprintf("netsim: no route %s -> host %d", cur.name, dst))
+		}
+		links = append(links, e)
+		latency += e.latency
+		cur = e.peer
+		if !cur.isHost {
+			latency += cur.procDelay
+		}
+		if len(links) > len(n.devices) {
+			panic("netsim: routing loop in fluidPath")
+		}
+	}
+	return links, latency
+}
+
+// fluidRecompute settles every flow's progress to the current sim time,
+// retires finished flows, reallocates rates by max-min fair share, and
+// schedules a completion check at each flow's projected finish. Timers
+// carry the flow's generation so a reallocation invalidates stale ones.
+func (n *Network) fluidRecompute() {
+	fl := n.fluid
+	now := n.sim.Now()
+	var finished []*fluidFlow
+	live := make([]*fluidFlow, 0, len(fl.flows))
+	for _, f := range fl.flows {
+		if dt := now - f.last; dt > 0 && f.rate > 0 {
+			f.remain -= f.rate * (float64(dt) / float64(sim.Second))
+		}
+		f.last = now
+		f.gen++
+		if f.remain <= 0.5 {
+			finished = append(finished, f)
+		} else {
+			live = append(live, f)
+		}
+	}
+	fl.flows = live
+	waterfillFluid(live)
+	for _, f := range live {
+		if f.rate <= 0 {
+			continue
+		}
+		ns := math.Ceil(f.remain / f.rate * float64(sim.Second))
+		if ns < 1 {
+			ns = 1
+		}
+		gen := f.gen
+		ff := f
+		n.sim.After(sim.Time(ns), func() {
+			if ff.gen == gen {
+				n.fluidRecompute()
+			}
+		})
+	}
+	for _, f := range finished {
+		if f.drained != nil {
+			// Fire via a zero-delay event, not inline: the callback may
+			// start the connection's next flow, which re-enters
+			// fluidRecompute.
+			n.sim.After(0, f.drained)
+		}
+		if f.done != nil {
+			n.sim.After(f.latency, f.done)
+		}
+	}
+}
+
+// waterfillFluid assigns max-min fair rates: repeatedly find the most
+// constrained link (smallest capacity/flows share), freeze its flows at
+// that share, subtract, and recurse over the rest. Flows whose own
+// capRate is below the share freeze there instead. Deterministic: links
+// are processed in first-seen order over the (insertion-ordered) flow
+// list, shares depend only on capacities and membership.
+func waterfillFluid(flows []*fluidFlow) {
+	if len(flows) == 0 {
+		return
+	}
+	type linkState struct {
+		capLeft float64
+		n       int
+	}
+	idx := make(map[*egress]int)
+	var links []*egress
+	var states []*linkState
+	for _, f := range flows {
+		f.rate = 0
+		for _, e := range f.links {
+			if e.rate <= 0 {
+				continue
+			}
+			i, ok := idx[e]
+			if !ok {
+				i = len(links)
+				idx[e] = i
+				links = append(links, e)
+				states = append(states, &linkState{capLeft: float64(e.rate)})
+			}
+			states[i].n++
+		}
+	}
+	unfrozen := len(flows)
+	frozen := make(map[*fluidFlow]bool, len(flows))
+	freeze := func(f *fluidFlow, rate float64) {
+		f.rate = rate
+		frozen[f] = true
+		for _, e := range f.links {
+			if i, ok := idx[e]; ok {
+				st := states[i]
+				st.n--
+				st.capLeft -= rate
+				if st.capLeft < 0 {
+					st.capLeft = 0
+				}
+			}
+		}
+	}
+	for unfrozen > 0 {
+		// Smallest per-flow share over links still carrying unfrozen flows.
+		share := math.Inf(1)
+		for _, st := range states {
+			if st.n > 0 {
+				if s := st.capLeft / float64(st.n); s < share {
+					share = s
+				}
+			}
+		}
+		progressed := false
+		if !math.IsInf(share, 1) {
+			// Pass 1: flows capped below the share freeze at their cap.
+			for _, f := range flows {
+				if frozen[f] || f.capRate > share {
+					continue
+				}
+				freeze(f, f.capRate)
+				unfrozen--
+				progressed = true
+			}
+			if progressed {
+				continue // shares changed; recompute before freezing links
+			}
+			// Pass 2: freeze flows crossing a bottleneck link at the share.
+			for _, f := range flows {
+				if frozen[f] {
+					continue
+				}
+				bottled := false
+				for _, e := range f.links {
+					i, ok := idx[e]
+					if !ok {
+						continue
+					}
+					st := states[i]
+					if st.n > 0 && st.capLeft/float64(st.n) <= share*(1+1e-9) {
+						bottled = true
+						break
+					}
+				}
+				if bottled {
+					freeze(f, share)
+					unfrozen--
+					progressed = true
+				}
+			}
+		}
+		if !progressed {
+			// No finite share (flows crossing only unbounded-rate links)
+			// or numeric stall: freeze everything left at its own cap.
+			for _, f := range flows {
+				if !frozen[f] {
+					freeze(f, f.capRate)
+					unfrozen--
+				}
+			}
+		}
+	}
+	// Deterministic output regardless of map iteration: rates were
+	// assigned in flow order; nothing above depends on map order, but
+	// sort flows by id for the avoidance of doubt in future edits.
+	sort.SliceStable(flows, func(i, j int) bool { return flows[i].id < flows[j].id })
+}

@@ -1,0 +1,243 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// wanPair builds host A — switch — router == router — switch — host B
+// with a WAN link between the routers, the shape fluid flows target.
+// wanRate is the router-to-router link rate; LAN links run at testRate
+// with 10 µs latency, the WAN at wanLat with a 64 KiB lossy buffer.
+func wanPair(t *testing.T, wanRate int64, wanLat sim.Time) (*sim.Simulator, *Network) {
+	t.Helper()
+	s := sim.New(1)
+	n := New(s)
+	lan := LinkConfig{Rate: testRate, Latency: 10 * sim.Microsecond}
+	wan := LinkConfig{Rate: wanRate, Latency: wanLat}
+	port := PortConfig{Buffer: 64 << 10}
+	for side := 0; side < 2; side++ {
+		h := n.AddHost("h")
+		sw := n.AddSwitch("sw", SwitchConfig{PortBuffer: 1 << 20})
+		n.Connect(h, sw, lan)
+		rt := n.AddRouter("rt", RouterConfig{ProcDelay: sim.Microsecond})
+		n.Connect(sw, rt, lan)
+		_ = rt
+	}
+	n.ConnectPorts(n.devices[2], n.devices[5], wan, wan, port, port)
+	n.ComputeRoutes()
+	return s, n
+}
+
+func TestFluidThresholdDefaultsAndDisable(t *testing.T) {
+	s := sim.New(1)
+	n := New(s)
+	if n.FluidThreshold() != 0 {
+		t.Fatalf("threshold = %d before EnableFluid, want 0", n.FluidThreshold())
+	}
+	n.EnableFluid(FluidConfig{})
+	if n.FluidThreshold() != DefaultFluidThreshold {
+		t.Fatalf("threshold = %d, want default %d", n.FluidThreshold(), DefaultFluidThreshold)
+	}
+	n.EnableFluid(FluidConfig{Threshold: 1 << 20})
+	if n.FluidThreshold() != 1<<20 {
+		t.Fatalf("threshold = %d, want %d", n.FluidThreshold(), 1<<20)
+	}
+}
+
+func TestPathInfoWANPair(t *testing.T) {
+	_, n := wanPair(t, testRate/2, 5*sim.Millisecond)
+	pi, ok := n.PathInfo(0, 1)
+	if !ok {
+		t.Fatal("no path info for routed pair")
+	}
+	if !pi.CrossesWAN {
+		t.Fatal("router-router link not flagged as WAN")
+	}
+	if pi.Bottleneck != testRate/2 {
+		t.Fatalf("bottleneck = %d, want %d", pi.Bottleneck, testRate/2)
+	}
+	if pi.Hops != 5 {
+		t.Fatalf("hops = %d, want 5", pi.Hops)
+	}
+	// Latency: 5 links (4 LAN at 10 µs + WAN at 5 ms) plus the
+	// forwarding delay of each device entered en route (two routers at
+	// 1 µs; switches forward at wire speed).
+	wantLat := 4*10*sim.Microsecond + 5*sim.Millisecond + 2*sim.Microsecond
+	if pi.Latency != wantLat {
+		t.Fatalf("latency = %v, want %v", pi.Latency, wantLat)
+	}
+	if pi.MinBuffer != 64<<10 {
+		t.Fatalf("min buffer = %d, want %d", pi.MinBuffer, 64<<10)
+	}
+	wantSerial := 4.0/testRate + 1.0/(testRate/2)
+	if math.Abs(pi.SerialPerByte-wantSerial)/wantSerial > 1e-12 {
+		t.Fatalf("serial per byte = %v, want %v", pi.SerialPerByte, wantSerial)
+	}
+}
+
+func TestPathInfoNoRoute(t *testing.T) {
+	s := sim.New(1)
+	n := New(s)
+	n.AddHost("a")
+	n.AddHost("b")
+	// No links, no ComputeRoutes: both failure modes must report !ok.
+	if _, ok := n.PathInfo(0, 1); ok {
+		t.Fatal("path info reported for unrouted hosts")
+	}
+	if _, ok := n.PathInfo(0, 0); ok {
+		t.Fatal("path info reported for src == dst")
+	}
+}
+
+func TestFluidSingleFlowTiming(t *testing.T) {
+	s, n := wanPair(t, testRate, sim.Millisecond)
+	n.EnableFluid(FluidConfig{})
+	var drainedAt, doneAt sim.Time
+	n.StartFluidFlow(0, 1, 1_000_000, float64(testRate)/2,
+		func() { drainedAt = s.Now() },
+		func() { doneAt = s.Now() })
+	s.Run()
+	// 1 MB at the 0.5 MB/s cap drains in 2 s; delivery follows one
+	// path latency later.
+	wantDrain := 2 * sim.Second
+	if d := drainedAt - wantDrain; d < -sim.Microsecond || d > sim.Microsecond {
+		t.Fatalf("drained at %v, want ~%v", drainedAt, wantDrain)
+	}
+	pi, _ := n.PathInfo(0, 1)
+	if doneAt-drainedAt != pi.Latency {
+		t.Fatalf("done-drained = %v, want path latency %v", doneAt-drainedAt, pi.Latency)
+	}
+}
+
+// TestFluidFairShare runs two flows over the shared WAN link with caps
+// above the fair share: each must get half the bottleneck while both
+// are live, so the shorter flow finishes at half rate and the longer
+// one speeds up afterwards.
+func TestFluidFairShare(t *testing.T) {
+	s := sim.New(1)
+	n := New(s)
+	lan := LinkConfig{Rate: 100 * testRate, Latency: sim.Microsecond}
+	wan := LinkConfig{Rate: testRate, Latency: sim.Millisecond}
+	swA := n.AddSwitch("swA", SwitchConfig{PortBuffer: 1 << 20})
+	swB := n.AddSwitch("swB", SwitchConfig{PortBuffer: 1 << 20})
+	rtA := n.AddRouter("rtA", RouterConfig{})
+	rtB := n.AddRouter("rtB", RouterConfig{})
+	for i := 0; i < 2; i++ {
+		h := n.AddHost("src")
+		n.Connect(h, swA, lan)
+	}
+	for i := 0; i < 2; i++ {
+		h := n.AddHost("dst")
+		n.Connect(h, swB, lan)
+	}
+	n.Connect(swA, rtA, lan)
+	n.Connect(swB, rtB, lan)
+	n.ConnectPorts(rtA, rtB, wan, wan, PortConfig{Buffer: 64 << 10}, PortConfig{Buffer: 64 << 10})
+	n.ComputeRoutes()
+	n.EnableFluid(FluidConfig{})
+
+	done := map[int]sim.Time{}
+	// Flow 1: 1 MB, flow 2: 2 MB, both capped well above fair share.
+	n.StartFluidFlow(0, 2, 1_000_000, 10*testRate, nil, func() { done[1] = s.Now() })
+	n.StartFluidFlow(1, 3, 2_000_000, 10*testRate, nil, func() { done[2] = s.Now() })
+	s.Run()
+	// Shared 1 MB/s link: both run at 0.5 MB/s until flow 1 drains at
+	// t=2s; flow 2's remaining 1 MB then runs at the full 1 MB/s,
+	// draining at t=3s.
+	tol := 10 * sim.Millisecond
+	if d := done[1] - 2*sim.Second; d < -tol || d > tol {
+		t.Fatalf("flow 1 done at %v, want ~2s", done[1])
+	}
+	if d := done[2] - 3*sim.Second; d < -tol || d > tol {
+		t.Fatalf("flow 2 done at %v, want ~3s", done[2])
+	}
+}
+
+// TestFluidCapBelowShare pins the other waterfill branch: a flow whose
+// own cap sits below the fair share frees the difference for its rival.
+func TestFluidCapBelowShare(t *testing.T) {
+	s, n := wanPair(t, testRate, sim.Millisecond)
+	n.EnableFluid(FluidConfig{})
+	var done1, done2 sim.Time
+	// Flow 1 capped at 1/4 of the link; flow 2 may use the rest.
+	n.StartFluidFlow(0, 1, 250_000, float64(testRate)/4, nil, func() { done1 = s.Now() })
+	n.StartFluidFlow(0, 1, 750_000, 10*testRate, nil, func() { done2 = s.Now() })
+	s.Run()
+	// Flow 1: 250 KB at 0.25 MB/s = 1 s. Flow 2: 750 KB at 0.75 MB/s = 1 s.
+	tol := 10 * sim.Millisecond
+	if d := done1 - sim.Second; d < -tol || d > tol {
+		t.Fatalf("capped flow done at %v, want ~1s", done1)
+	}
+	if d := done2 - sim.Second; d < -tol || d > tol {
+		t.Fatalf("residual flow done at %v, want ~1s", done2)
+	}
+}
+
+// TestFluidDeterminism re-runs an interleaved flow schedule and expects
+// bit-identical completion times: rate allocation must not depend on
+// map iteration order.
+func TestFluidDeterminism(t *testing.T) {
+	run := func() []sim.Time {
+		s, n := wanPair(t, testRate, sim.Millisecond)
+		n.EnableFluid(FluidConfig{})
+		var times []sim.Time
+		sizes := []int64{300_000, 500_000, 200_000, 400_000}
+		for i, sz := range sizes {
+			sz := sz
+			s.After(sim.Time(i)*100*sim.Millisecond, func() {
+				n.StartFluidFlow(0, 1, sz, float64(testRate), nil,
+					func() { times = append(times, s.Now()) })
+			})
+		}
+		s.Run()
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("flow completions: %d and %d, want 4", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run divergence at flow %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestFluidCounters also pins that EnableFluid and AttachCollector
+// compose in either call order.
+func TestFluidCounters(t *testing.T) {
+	for _, collectorFirst := range []bool{true, false} {
+		s, n := wanPair(t, testRate, sim.Millisecond)
+		coll := obs.New()
+		if collectorFirst {
+			n.AttachCollector(coll)
+			n.EnableFluid(FluidConfig{})
+		} else {
+			n.EnableFluid(FluidConfig{})
+			n.AttachCollector(coll)
+		}
+		n.StartFluidFlow(0, 1, 123_456, float64(testRate), nil, nil)
+		s.Run()
+		if got := coll.Counter(CtrFluidFlows).Value(); got != 1 {
+			t.Fatalf("collectorFirst=%v: %s = %d, want 1", collectorFirst, CtrFluidFlows, got)
+		}
+		if got := coll.Counter(CtrFluidBytes).Value(); got != 123_456 {
+			t.Fatalf("collectorFirst=%v: %s = %d, want 123456", collectorFirst, CtrFluidBytes, got)
+		}
+	}
+}
+
+func TestStartFluidFlowDisabledPanics(t *testing.T) {
+	s, n := wanPair(t, testRate, sim.Millisecond)
+	_ = s
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StartFluidFlow with fluid disabled did not panic")
+		}
+	}()
+	n.StartFluidFlow(0, 1, 1000, float64(testRate), nil, nil)
+}

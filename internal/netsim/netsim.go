@@ -23,6 +23,7 @@ package netsim
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -62,6 +63,13 @@ type Network struct {
 	sim     *sim.Simulator
 	devices []*Device
 	hosts   []*Device // devices with a host role, indexed by NodeID
+
+	// fluid, when non-nil, enables flow-level pricing of large
+	// transfers (see EnableFluid); obsC remembers the attached
+	// collector so EnableFluid and AttachCollector compose in either
+	// order.
+	fluid *fluidState
+	obsC  *obs.Collector
 }
 
 // New creates an empty network bound to a simulator.
@@ -103,6 +111,11 @@ type Device struct {
 	RxPackets uint64
 	RxBytes   uint64
 }
+
+// RxCost returns the host's per-packet receive processing cost (zero
+// for kernel-bypass stacks). The fluid pricer reads it to bound a
+// flow's rate by the destination CPU's packet-processing capacity.
+func (d *Device) RxCost() sim.Time { return d.rxCost }
 
 // SetRxCost configures the per-packet receive processing cost.
 func (d *Device) SetRxCost(c sim.Time) {

@@ -21,6 +21,11 @@ const (
 	// both endpoints are routers — the inter-tier links ConnectPorts
 	// creates in grid topologies).
 	CtrWANBytes = "netsim.bytes.wan"
+	// CtrFluidFlows counts transfers priced by the fluid engine instead
+	// of being simulated packet by packet (see EnableFluid).
+	CtrFluidFlows = "netsim.flows.fluid"
+	// CtrFluidBytes counts wire bytes carried by fluid flows.
+	CtrFluidBytes = "netsim.bytes.fluid"
 )
 
 // AttachCollector wires every existing egress queue to the collector's
@@ -32,6 +37,7 @@ func (n *Network) AttachCollector(c *obs.Collector) {
 	if c == nil {
 		return
 	}
+	n.obsC = c
 	fwd := c.Counter(CtrForwarded)
 	drop := c.Counter(CtrDropped)
 	wanB := c.Counter(CtrWANBytes)
@@ -39,6 +45,10 @@ func (n *Network) AttachCollector(c *obs.Collector) {
 		for _, e := range d.egr {
 			e.ctrFwd, e.ctrDrop, e.ctrWanBytes = fwd, drop, wanB
 		}
+	}
+	if n.fluid != nil {
+		n.fluid.ctrFlows = c.Counter(CtrFluidFlows)
+		n.fluid.ctrBytes = c.Counter(CtrFluidBytes)
 	}
 }
 

@@ -1,0 +1,45 @@
+package sim
+
+import "fmt"
+
+// Mode selects the simulation engine a network simulation runs under.
+// The packet engine is the ground truth: every segment, ACK and queue
+// occupancy is an event. The fluid engine prices large steady-state
+// transfers analytically (a flow with a rate, not a packet train) and
+// exists because characterization wall-clock is dominated by exactly
+// those transfers; small messages always stay packet-level (see
+// netsim.FluidConfig.Threshold).
+type Mode int
+
+const (
+	// ModePacket simulates every packet discretely (the default).
+	ModePacket Mode = iota
+	// ModeFluid prices large WAN transfers as analytic flows and falls
+	// back to ModePacket below the configured byte threshold.
+	ModeFluid
+)
+
+// String names the mode as used in flags and benchmark output.
+func (m Mode) String() string {
+	switch m {
+	case ModePacket:
+		return "packet"
+	case ModeFluid:
+		return "fluid"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode parses a mode name as accepted on command lines
+// ("packet" or "fluid").
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "packet", "":
+		return ModePacket, nil
+	case "fluid":
+		return ModeFluid, nil
+	default:
+		return ModePacket, fmt.Errorf("sim: unknown mode %q (want packet or fluid)", s)
+	}
+}

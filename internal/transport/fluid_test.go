@@ -1,0 +1,134 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// buildWANPair creates two hosts in separate switch fabrics joined by a
+// router-router WAN link, with a TCP fabric on top. fluid toggles the
+// flow-level pricer on the underlying network.
+func buildWANPair(seed int64, fluid bool) (*sim.Simulator, *netsim.Network, *Fabric) {
+	s := sim.New(seed)
+	nw := netsim.New(s)
+	lan := netsim.LinkConfig{Rate: 125_000_000, Latency: 20 * sim.Microsecond}
+	wan := netsim.LinkConfig{Rate: 12_500_000, Latency: 10 * sim.Millisecond}
+	hosts := make([]*netsim.Device, 2)
+	routers := make([]*netsim.Device, 2)
+	for i := 0; i < 2; i++ {
+		hosts[i] = nw.AddHost("h")
+		sw := nw.AddSwitch("sw", netsim.SwitchConfig{PortBuffer: 1 << 20})
+		nw.Connect(hosts[i], sw, lan)
+		routers[i] = nw.AddRouter("rt", netsim.RouterConfig{ProcDelay: 5 * sim.Microsecond})
+		nw.Connect(sw, routers[i], lan)
+	}
+	port := netsim.PortConfig{Buffer: 256 << 10}
+	nw.ConnectPorts(routers[0], routers[1], wan, wan, port, port)
+	nw.ComputeRoutes()
+	if fluid {
+		nw.EnableFluid(netsim.FluidConfig{})
+	}
+	cfg := FabricConfig{Kind: TCP}
+	cfg.TCP.RcvWindow = 256 << 10
+	return s, nw, NewFabric(nw, hosts, cfg)
+}
+
+// TestFluidOrderingAcrossEngines interleaves small (packet) and large
+// (fluid) messages on one connection and requires strict FIFO delivery:
+// a fluid transfer must not overtake queued stream bytes, nor stream
+// bytes a fluid transfer.
+func TestFluidOrderingAcrossEngines(t *testing.T) {
+	s, _, f := buildWANPair(7, true)
+	var seqs []int64
+	f.Conn(1, 0).SetHandler(func(m Message) { seqs = append(seqs, m.MsgSeq) })
+	sizes := []int{1000, 200 << 10, 2000, 64 << 10, 100 << 10, 500, 300 << 10, 900}
+	for i, sz := range sizes {
+		f.Conn(0, 1).Send(Message{MsgSeq: int64(i), Size: sz})
+	}
+	s.Run()
+	if len(seqs) != len(sizes) {
+		t.Fatalf("delivered %d messages, want %d", len(seqs), len(sizes))
+	}
+	for i, q := range seqs {
+		if q != int64(i) {
+			t.Fatalf("out of order at %d: %v", i, seqs[:i+1])
+		}
+	}
+}
+
+// TestFluidMatchesPacketBelowThreshold pins the fallback: on a
+// fluid-enabled network, transfers at or below the threshold must
+// produce bit-identical delivery times to the pure packet engine.
+func TestFluidMatchesPacketBelowThreshold(t *testing.T) {
+	run := func(fluid bool) sim.Time {
+		s, _, f := buildWANPair(11, fluid)
+		var when sim.Time
+		f.Conn(1, 0).SetHandler(func(m Message) { when = s.Now() })
+		f.Conn(0, 1).Send(Message{Size: netsim.DefaultFluidThreshold})
+		s.Run()
+		return when
+	}
+	packet, fluid := run(false), run(true)
+	if packet != fluid {
+		t.Fatalf("threshold-sized transfer diverged: packet %v, fluid %v", packet, fluid)
+	}
+}
+
+// TestFluidLargeTransferTiming sanity-checks the analytic pricing of a
+// large WAN transfer: delivery must land between the hard physical
+// lower bound (wire bytes at the bottleneck rate plus path latency) and
+// the packet engine's own completion time with slack.
+func TestFluidLargeTransferTiming(t *testing.T) {
+	const size = 2 << 20
+	run := func(fluid bool) sim.Time {
+		s, _, f := buildWANPair(13, fluid)
+		var when sim.Time
+		f.Conn(1, 0).SetHandler(func(m Message) { when = s.Now() })
+		f.Conn(0, 1).Send(Message{Size: size})
+		s.Run()
+		return when
+	}
+	packet, fluid := run(false), run(true)
+	floor := sim.FromSeconds(float64(size) / 12_500_000)
+	if fluid < floor {
+		t.Fatalf("fluid delivery %v beats the bottleneck-rate floor %v", fluid, floor)
+	}
+	// The two engines price the same transfer: within 15% of each other.
+	diff := float64(fluid-packet) / float64(packet)
+	if diff < -0.15 || diff > 0.15 {
+		t.Fatalf("fluid %v vs packet %v: relative difference %.1f%% exceeds 15%%",
+			fluid, packet, 100*diff)
+	}
+}
+
+// TestFluidLANStaysPacket pins eligibility: on an all-LAN network the
+// fluid pricer must never engage even for large transfers, so LAN
+// contention keeps its emergent packet-level queueing.
+func TestFluidLANStaysPacket(t *testing.T) {
+	run := func(fluid bool) sim.Time {
+		s := sim.New(17)
+		nw := netsim.New(s)
+		sw := nw.AddSwitch("sw", netsim.SwitchConfig{PortBuffer: 1 << 20})
+		hosts := make([]*netsim.Device, 2)
+		for i := range hosts {
+			hosts[i] = nw.AddHost("h")
+			nw.Connect(hosts[i], sw, gigELink)
+		}
+		nw.ComputeRoutes()
+		if fluid {
+			nw.EnableFluid(netsim.FluidConfig{})
+		}
+		f := NewFabric(nw, hosts, FabricConfig{Kind: TCP})
+		var when sim.Time
+		f.Conn(1, 0).SetHandler(func(m Message) { when = s.Now() })
+		f.Conn(0, 1).Send(Message{Size: 1 << 20})
+		s.Run()
+		return when
+	}
+	packet, fluid := run(false), run(true)
+	if packet != fluid {
+		t.Fatalf("LAN transfer diverged under fluid mode: packet %v, fluid %v", packet, fluid)
+	}
+}

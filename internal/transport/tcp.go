@@ -60,6 +60,24 @@ type tcpConn struct {
 	inMeta      []msgBound
 	unackedPkts int    // in-order packets since the last ACK
 	delackGen   uint64 // cancels stale delayed-ACK timers
+
+	// Fluid fast path (sender half). Large transfers on fluid-enabled
+	// networks bypass the byte stream and are priced analytically; the
+	// pending queue preserves per-connection FIFO delivery across the
+	// two engines (a fluid transfer must not overtake queued stream
+	// bytes and vice versa).
+	fluidChecked bool // path eligibility resolved
+	fluidOK      bool
+	fluidPath    netsim.PathInfo
+	fluidBusy    bool // a fluid transfer is in flight on this half
+	pendQ        []pendMsg
+}
+
+// pendMsg is a message held back to preserve FIFO ordering between the
+// packet stream and fluid transfers.
+type pendMsg struct {
+	msg   Message
+	fluid bool
 }
 
 // newTCPHalf creates one side of a duplex connection, owned by epA with
@@ -87,18 +105,172 @@ func linkMirror(a, b *tcpConn) {
 	b.mirror = a
 }
 
-// Send queues a message onto the byte stream toward the peer.
+// Send queues a message toward the peer. On fluid-enabled networks,
+// messages above the fluid threshold whose path crosses a WAN link are
+// priced analytically; everything else travels the packet byte stream.
+// FIFO delivery order is preserved across the two engines.
 func (c *tcpConn) Send(msg Message) {
 	if msg.Size <= 0 {
 		panic(fmt.Sprintf("transport: message size %d must be positive", msg.Size))
 	}
 	c.stats.MsgsSent++
 	c.stats.BytesSent += int64(msg.Size)
+	fluid := c.fluidEligible(msg.Size)
+	if c.fluidBusy || len(c.pendQ) > 0 || (fluid && !c.streamDrained()) {
+		c.pendQ = append(c.pendQ, pendMsg{msg: msg, fluid: fluid})
+		return
+	}
+	if fluid {
+		c.startFluid(msg)
+		return
+	}
+	c.streamSend(msg)
+}
+
+// streamSend queues a message onto the packet-level byte stream.
+func (c *tcpConn) streamSend(msg Message) {
 	c.streamLen += int64(msg.Size)
 	// Register the boundary at the receiving side: delivery is gated on
 	// the receiver's in-order byte count, so this is causally safe.
 	c.mirror.inMeta = append(c.mirror.inMeta, msgBound{end: c.streamLen, msg: msg})
 	c.trySend()
+}
+
+// streamDrained reports whether every stream byte this half has sent
+// was received in order at the peer (so all stream messages delivered).
+func (c *tcpConn) streamDrained() bool {
+	return c.mirror.rcvNxt >= c.streamLen
+}
+
+// fluidEligible decides whether a message of the given size takes the
+// fluid path: fluid mode enabled, size above the threshold, and the
+// routed path crosses a WAN link (LAN segments stay packet-level — the
+// contention the model prices there is emergent queueing, which a
+// per-connection fluid cap would erase).
+func (c *tcpConn) fluidEligible(size int) bool {
+	thr := c.net.FluidThreshold()
+	if thr <= 0 || size <= thr {
+		return false
+	}
+	if !c.fluidChecked {
+		c.fluidChecked = true
+		pi, ok := c.net.PathInfo(c.local, c.peer)
+		c.fluidPath = pi
+		c.fluidOK = ok && pi.CrossesWAN && pi.Bottleneck > 0
+	}
+	return c.fluidOK
+}
+
+// startFluid prices one message as an analytic flow. The flow's rate
+// cap reproduces the packet engine's steady state: the receive window
+// (inflated to wire bytes) divided by the path RTT, bounded by what the
+// smallest lossy buffer sustains without loss and by the destination
+// CPU's per-packet receive cost. The transfer also pays an explicit
+// slow-start ramp from the connection's live congestion window — one
+// RTT per window, the window growing 1.5× per round exactly as the
+// packet engine's delayed-ACK slow start does (+MSS per ACK, one ACK
+// per two segments) — and the grown window is written back to c.cwnd,
+// so fluid and packet transfers interleaved on one connection observe
+// a single consistent window history.
+func (c *tcpConn) startFluid(msg Message) {
+	c.fluidBusy = true
+	pi := c.fluidPath
+	nPkts := (msg.Size + c.cfg.MSS - 1) / c.cfg.MSS
+	wire := float64(msg.Size + nPkts*c.cfg.HeaderSize)
+	pktWire := float64(c.cfg.MSS + c.cfg.HeaderSize)
+	inflate := pktWire / float64(c.cfg.MSS)
+	bneck := float64(pi.Bottleneck)
+	rtt := 2*pi.Latency.Seconds() + pktWire*pi.SerialPerByte + float64(c.cfg.AckSize)/bneck
+	wnd := float64(c.cfg.RcvWindow) * inflate
+	if pi.MinBuffer > 0 {
+		// A window larger than BDP + bottleneck buffer overflows the
+		// queue and oscillates under loss; the sustainable average sits
+		// below the ceiling (AIMD sawtooth), approximated at 3/4.
+		if lim := 0.75 * (bneck*rtt + float64(pi.MinBuffer)); wnd > lim {
+			wnd = lim
+		}
+	}
+	capRate := wnd / rtt
+	if pi.RxCost > 0 {
+		if lim := pktWire / pi.RxCost.Seconds(); capRate > lim {
+			capRate = lim
+		}
+	}
+	if capRate > bneck {
+		capRate = bneck
+	}
+	// Slow-start ramp: each round trip carries one congestion window
+	// and grows it 1.5× (delayed ACKs acknowledge every second
+	// segment, each ACK adds one MSS). The remainder beyond the ramp
+	// streams at capRate; sending it still grows the window by half
+	// the bytes ACKed, capped at the receive window, and the result is
+	// written back so the packet engine inherits it.
+	var delay sim.Time
+	cw := float64(c.cwnd) * inflate
+	for cw < wnd && cw < wire {
+		delay += sim.FromSeconds(rtt)
+		wire -= cw
+		cw *= 1.5
+	}
+	if wire < pktWire {
+		wire = pktWire
+	}
+	if grown := cw + wire/2; grown < wnd {
+		cw = grown
+	} else {
+		cw = wnd
+	}
+	if next := int(cw / inflate); next > c.cwnd {
+		c.cwnd = next
+		if c.cwnd > c.cfg.RcvWindow {
+			c.cwnd = c.cfg.RcvWindow
+		}
+	}
+	wireBytes := int64(wire + 0.5)
+	start := func() {
+		c.net.StartFluidFlow(c.local, c.peer, wireBytes, capRate,
+			c.onFluidDrained, func() { c.onFluidDeliver(msg) })
+	}
+	if delay > 0 {
+		c.clk.After(delay, start)
+	} else {
+		start()
+	}
+}
+
+// onFluidDrained releases the connection when a fluid transfer's last
+// byte enters the pipe: the next queued message may start immediately,
+// exactly as the byte stream pipelines back-to-back messages, while
+// delivery of the drained transfer is still one path latency away.
+func (c *tcpConn) onFluidDrained() {
+	c.fluidBusy = false
+	c.pumpPend()
+}
+
+// onFluidDeliver completes a fluid transfer at the receiver.
+func (c *tcpConn) onFluidDeliver(msg Message) {
+	if c.mirror.handler != nil {
+		c.mirror.handler(msg)
+	}
+}
+
+// pumpPend releases held-back messages in FIFO order as the engines
+// allow: a fluid head still waits for the stream to drain, a stream
+// head waits for no in-flight fluid transfer.
+func (c *tcpConn) pumpPend() {
+	for !c.fluidBusy && len(c.pendQ) > 0 {
+		p := c.pendQ[0]
+		if p.fluid && !c.streamDrained() {
+			return
+		}
+		copy(c.pendQ, c.pendQ[1:])
+		c.pendQ = c.pendQ[:len(c.pendQ)-1]
+		if p.fluid {
+			c.startFluid(p.msg)
+		} else {
+			c.streamSend(p.msg)
+		}
+	}
 }
 
 // SetHandler installs the message delivery callback for this side.
@@ -438,6 +610,9 @@ func (c *tcpConn) onData(pkt *netsim.Packet) {
 		}
 		c.rcvNxt = c.ooo.advance(c.rcvNxt)
 		c.deliver()
+		// The peer's stream toward us advanced: it may unblock a fluid
+		// transfer waiting for the stream to drain.
+		c.mirror.pumpPend()
 		if !c.ooo.empty() {
 			// Filling part of a hole: ack immediately.
 			c.sendAck()
