@@ -1,6 +1,6 @@
 // Command atabench runs the paper-reproduction experiments (one per
 // figure, plus the signature table, the ablations, and the grid
-// prediction-vs-simulation experiments GR1–GR5) and prints their data
+// prediction-vs-simulation experiments GR1–GR6) and prints their data
 // series.
 //
 // Usage:

@@ -11,9 +11,11 @@
 //	tracecheck -counter planner.probes=0 -counter store.miss=0 \
 //	           -counter 'store.hit>=1' trace.ndjson
 //
-// An assertion is either an exact match (name=value) or a lower bound
-// (name>=value). A counter absent from the trace has value 0 — traces
-// only carry counters that were actually fed.
+// An assertion is an exact match (name=value), a lower bound
+// (name>=value), or an upper bound (name<=value — e.g. that a replan
+// probed no more than the invalidated tier's budget). A counter absent
+// from the trace has value 0 — traces only carry counters that were
+// actually fed.
 //
 // Usage:
 //
@@ -39,7 +41,7 @@ import (
 type counterAssertion struct {
 	name  string
 	value uint64
-	min   bool // true for name>=value, false for name=value
+	op    string // "=", ">=" or "<="
 }
 
 // assertionList collects repeated -counter flags.
@@ -48,11 +50,7 @@ type assertionList []counterAssertion
 func (l *assertionList) String() string {
 	var parts []string
 	for _, a := range *l {
-		op := "="
-		if a.min {
-			op = ">="
-		}
-		parts = append(parts, fmt.Sprintf("%s%s%d", a.name, op, a.value))
+		parts = append(parts, fmt.Sprintf("%s%s%d", a.name, a.op, a.value))
 	}
 	return strings.Join(parts, ",")
 }
@@ -66,21 +64,26 @@ func (l *assertionList) Set(s string) error {
 	return nil
 }
 
-// parseAssertion parses "name=value" or "name>=value".
+// parseAssertion parses "name=value", "name>=value" or "name<=value".
+// The two-character operators are tried first: a bare "=" cut of
+// "x>=1" would leave ">" dangling in the name.
 func parseAssertion(s string) (counterAssertion, error) {
-	op, min := "=", false
-	if strings.Contains(s, ">=") {
-		op, min = ">=", true
+	op := "="
+	switch {
+	case strings.Contains(s, ">="):
+		op = ">="
+	case strings.Contains(s, "<="):
+		op = "<="
 	}
 	name, val, ok := strings.Cut(s, op)
 	if !ok || name == "" {
-		return counterAssertion{}, fmt.Errorf("want name=value or name>=value, got %q", s)
+		return counterAssertion{}, fmt.Errorf("want name=value, name>=value or name<=value, got %q", s)
 	}
 	v, err := strconv.ParseUint(val, 10, 64)
 	if err != nil {
 		return counterAssertion{}, fmt.Errorf("bad counter value in %q: %v", s, err)
 	}
-	return counterAssertion{name: name, value: v, min: min}, nil
+	return counterAssertion{name: name, value: v, op: op}, nil
 }
 
 // traceCounters extracts the final counter values from a validated
@@ -113,7 +116,7 @@ func traceCounters(trace []byte) (map[string]uint64, error) {
 func main() {
 	var asserts assertionList
 	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
-	fs.Var(&asserts, "counter", "assert a final counter value, name=value or name>=value (repeatable; absent counters are 0)")
+	fs.Var(&asserts, "counter", "assert a final counter value, name=value, name>=value or name<=value (repeatable; absent counters are 0)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: tracecheck [-counter name=value]... <trace.ndjson|->")
 		fs.PrintDefaults()
@@ -158,12 +161,17 @@ func main() {
 	failed := 0
 	for _, a := range asserts {
 		got := counters[a.name]
-		ok, op := got == a.value, "="
-		if a.min {
-			ok, op = got >= a.value, ">="
+		var ok bool
+		switch a.op {
+		case ">=":
+			ok = got >= a.value
+		case "<=":
+			ok = got <= a.value
+		default:
+			ok = got == a.value
 		}
 		if !ok {
-			fmt.Fprintf(os.Stderr, "tracecheck: counter %s is %d, want %s%d\n", a.name, got, op, a.value)
+			fmt.Fprintf(os.Stderr, "tracecheck: counter %s is %d, want %s%d\n", a.name, got, a.op, a.value)
 			failed++
 		}
 	}

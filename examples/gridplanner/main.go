@@ -40,6 +40,7 @@ type candidate struct {
 func main() {
 	traceOut := flag.String("trace", "", "write an NDJSON observability trace of the run to this file")
 	storePath := flag.String("store", "", "persist fitted characterization curves to this JSON file (loaded if present, written back after the run)")
+	replanFlag := flag.Bool("replan", false, "after planning, report a degraded-NIC delta on the fe2 deployment and replan it (Service.ReportDelta); with -trace, the trace shows the invalidated tier refitting while unaffected tiers hit the store")
 	flag.Parse()
 	// The trace collector threads through every planner characterization
 	// and the traced validation runs below; nil (no -trace) disables all
@@ -169,6 +170,33 @@ func main() {
 		fmt.Printf("\ncheapest deployment meeting the deadline: %s (%.2f EUR/h)\n", bestDesc, bestCost)
 	} else {
 		fmt.Println("\nno candidate meets the deadline")
+	}
+
+	// With -replan, a monitor reports that one fe2 node's NIC dropped to
+	// a tenth of its characterized throughput. ReportDelta invalidates
+	// exactly that cluster's tier (the compositional key takes ancestors
+	// and whole-tree strategy fits with it), rebuilds the planner warm —
+	// the sibling cluster's curves hit the store untouched — and
+	// re-selects coordinators off the degraded port. See docs/RESILIENCE.md.
+	if *replanFlag {
+		deg := fe
+		deg.Name = fe.Name + "-deg0"
+		deg.NodeLinkRates = []int64{1_250_000} // node 0 at 10% of Fast Ethernet
+		degTopo := fe2.Tree()
+		degTopo.Children = append([]cluster.TopoNode(nil), degTopo.Children...)
+		degTopo.Children[0] = cluster.Leaf(deg, 8)
+		rep, err := svc.ReportDelta(degTopo, grid.TierKey(fe2.Tree().Children[0]),
+			grid.Delta{RateFactor: 0.1, Size: msgSize, Source: "nic-monitor"})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("\nreplan after NIC degradation on %s cluster 0 (observed 0.1× throughput):\n", fe2.Name)
+		fmt.Printf("  invalidated %d stale store records; best strategy now %s (%.1fs predicted)\n",
+			rep.DroppedRecords, rep.Predictions[0].Strategy,
+			float64(exchanges)*rep.Predictions[0].T)
+		for _, ch := range rep.Choices {
+			fmt.Printf("  · coordinators %s\n", ch)
+		}
 	}
 
 	// Under the hood: build the 3-level topology, compile the recursive

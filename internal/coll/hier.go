@@ -90,6 +90,13 @@ type TreeSpec struct {
 	Ranks    []int
 	Children []TreeSpec
 	Coords   []int
+	// Standbys optionally ranks the subtree's secondary coordinators,
+	// best first — the failover order when a coordinator is declared
+	// dead mid-plan (see FailoverRun). Planners derive it from the same
+	// per-node headroom probing that picks Coords. Every entry must be a
+	// rank of the subtree; entries may overlap Coords (a standby for one
+	// ownership slot may hold another).
+	Standbys []int
 }
 
 // WithLeafCoords returns a deep copy of the spec with per-leaf
@@ -102,6 +109,7 @@ func (t TreeSpec) WithLeafCoords(coords [][]int) TreeSpec {
 	walk = func(s TreeSpec) TreeSpec {
 		if len(s.Children) == 0 {
 			s.Ranks = append([]int(nil), s.Ranks...)
+			s.Standbys = append([]int(nil), s.Standbys...)
 			if li < len(coords) && len(coords[li]) > 0 {
 				s.Coords = append([]int(nil), coords[li]...)
 			}
@@ -156,6 +164,7 @@ type pnode struct {
 	height   int   // 0 for leaves
 	depth    int   // 0 for the root
 	coords   []int // coordinator set, ownership order; default lowest rank
+	standbys []int // ranked secondary coordinators (failover order)
 	leafIdx  int   // dense leaf index, -1 for groups
 }
 
@@ -304,6 +313,18 @@ func (tp *TreePlacement) compile(spec TreeSpec, parent *pnode, depth int) *pnode
 	} else {
 		v.coords = []int{v.ranks[0]}
 	}
+	if len(spec.Standbys) > 0 {
+		in := make(map[int]bool, len(v.ranks))
+		for _, r := range v.ranks {
+			in[r] = true
+		}
+		for _, sr := range spec.Standbys {
+			if !in[sr] {
+				panic(fmt.Sprintf("coll: standby %d is not a rank of its subtree", sr))
+			}
+		}
+		v.standbys = append([]int(nil), spec.Standbys...)
+	}
 	return v
 }
 
@@ -324,6 +345,12 @@ func (tp TreePlacement) LeafMembers(l int) []int { return tp.leaves[l].ranks }
 // the leaf's lowest rank.
 func (tp TreePlacement) Coordinators(l int) []int {
 	return append([]int(nil), tp.leaves[l].coords...)
+}
+
+// Standbys returns leaf l's ranked secondary coordinators (failover
+// order), or nil when the spec named none.
+func (tp TreePlacement) Standbys(l int) []int {
+	return append([]int(nil), tp.leaves[l].standbys...)
 }
 
 // Height returns the root height: 0 for a single cluster, 1 for a

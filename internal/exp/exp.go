@@ -3,7 +3,7 @@
 // ablations called out in DESIGN.md (AB1–AB3), the extensions
 // (EX1–EX3), and the grid experiments (GR1 two-level, GR2 3-level, GR3
 // coordinator selection, GR4 irregular All-to-Allv, GR5 size-indexed
-// factor curves). Each experiment
+// factor curves, GR6 failover and replan resilience). Each experiment
 // returns tabular Series that cmd/atabench prints and bench_test.go
 // reports.
 //

@@ -34,6 +34,12 @@ const tagNICProbe int32 = 7200
 // flip the choice without a real win.
 const selectMargin = 0.02
 
+// standbyCap bounds each leaf's ranked standby-coordinator list. Three
+// standbys survive three coordinated deaths in one leaf — already far
+// beyond the single-failure scenarios the failover runtime targets —
+// while keeping the PlanSpec annotation small.
+const standbyCap = 3
+
 // probeHeadroom measures each node's achievable NIC rate (bytes/s) on a
 // standalone build of the leaf cluster: every node runs a warmed
 // large-message ping-pong against two distinct partners and keeps the
@@ -163,6 +169,13 @@ type CoordChoice struct {
 	// (the profile's nominal rate where the probe came back unusable —
 	// see safeHeadroom).
 	Rate float64
+	// Standby are the leaf's secondary coordinators as node indices
+	// within the leaf, ranked best first by the same measured headroom
+	// that ranked the chosen set, excluding the chosen coordinators.
+	// They are the failover order: when a coordinator's node is
+	// declared dead mid-plan, the executor promotes the first live
+	// standby (coll.FailoverRun). Capped at standbyCap entries.
+	Standby []int
 	// Default reports that the lowest-rank single-coordinator default
 	// was kept; the model is left untouched for this leaf.
 	Default bool
@@ -352,6 +365,18 @@ func (pl *Planner) selectCoordinators(hierBest func() float64) ([]CoordChoice, e
 			lf.NumCoords = len(bestNodes)
 			lf.CoordBeta = betaOf(choice.Rate)
 		}
+		chosen := make(map[int]bool, len(choice.Local))
+		for _, i := range choice.Local {
+			chosen[i] = true
+		}
+		for _, i := range order {
+			if len(choice.Standby) >= standbyCap {
+				break
+			}
+			if !chosen[i] {
+				choice.Standby = append(choice.Standby, i)
+			}
+		}
 		out = append(out, choice)
 	}
 
@@ -417,6 +442,21 @@ func specFor(topo cluster.TopoNode, choices []CoordChoice) coll.TreeSpec {
 		}
 		return out
 	}
+	// Standbys annotate every leaf with a selection — default choices
+	// included, since the default coordinator's node can die too and the
+	// headroom ranking knows its best replacement either way.
+	standbysOf := func(l, base int) []int {
+		if choices == nil {
+			return nil
+		}
+		var out []int
+		for _, i := range choices[l].Standby {
+			if i < leafSizes[l] {
+				out = append(out, base+i)
+			}
+		}
+		return out
+	}
 
 	rank := 0
 	bases := make([]int, len(leafSizes))
@@ -431,6 +471,7 @@ func specFor(topo cluster.TopoNode, choices []CoordChoice) coll.TreeSpec {
 				s.Ranks = append(s.Ranks, rank+i)
 			}
 			s.Coords = coordsOf(leafOf(s.Ranks[0]), s.Ranks[0])
+			s.Standbys = standbysOf(leafOf(s.Ranks[0]), s.Ranks[0])
 			rank += t.Nodes
 			return s
 		}

@@ -1,0 +1,36 @@
+package grid
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOptionsValidateRejectsNegatives: validation runs before any
+// probing, so a malformed Options fails NewPlanner fast with an error
+// naming the bad field and value.
+func TestOptionsValidateRejectsNegatives(t *testing.T) {
+	topo := testTopo()
+	for _, tc := range []struct {
+		name string
+		mut  func(*Options)
+		want string
+	}{
+		{"negative workers", func(o *Options) { o.Workers = -3 }, "Workers -3 is negative"},
+		{"negative cache cap", func(o *Options) { o.CacheCap = -1 }, "CacheCap -1 is negative"},
+		{"negative fluid threshold", func(o *Options) { o.FluidThreshold = -5 }, "FluidThreshold -5 is negative"},
+	} {
+		opt := cheapOptions()
+		tc.mut(&opt)
+		_, err := NewPlanner(topo, opt)
+		if err == nil {
+			t.Fatalf("%s: NewPlanner accepted the options", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+	// Zero values are defaults, not errors.
+	if _, err := NewPlanner(topo, cheapOptions()); err != nil {
+		t.Fatalf("baseline options rejected: %v", err)
+	}
+}

@@ -263,6 +263,90 @@ func (s *Service) Invalidate(tierKey string) int {
 	return records
 }
 
+// DeltaThreshold is the relative throughput deviation below which
+// ReportDelta skips replanning: WAN rates jitter a few percent without
+// the strategy ranking moving, and replanning on noise would churn the
+// store for nothing.
+const DeltaThreshold = 0.10
+
+// Delta is one monitored deviation report against a tier's
+// characterized behavior.
+type Delta struct {
+	// RateFactor is the observed throughput over the characterized
+	// throughput on the tier: 1 means nominal, 0.5 half speed, 1.5
+	// a recovered or upgraded link.
+	RateFactor float64
+	// Size is the per-pair message size to re-rank strategies at after
+	// the refit; zero defaults to 64 KiB.
+	Size int
+	// Source labels the reporting monitor in the trace.
+	Source string
+}
+
+// Replan reports what ReportDelta did.
+type Replan struct {
+	// Skipped is true when the delta was inside DeltaThreshold and
+	// nothing was invalidated or refitted.
+	Skipped bool
+	// DroppedRecords is how many store records the invalidation hit.
+	DroppedRecords int
+	// Predictions ranks the strategies after the refit, fastest first.
+	Predictions []Prediction
+	// Choices is the post-refit coordinator selection.
+	Choices []CoordChoice
+	// Spec is the post-refit plan spec (coordinators and standbys
+	// annotated), ready for coll.PlanHierTree.
+	Spec coll.TreeSpec
+}
+
+// ReportDelta reacts to a monitored deviation on one tier: a delta past
+// DeltaThreshold invalidates exactly that tier's characterization (the
+// compositional-key rule takes ancestors and containing strategy fits
+// with it), rebuilds the topology's planner warm — unaffected tiers hit
+// the store and are not re-probed; only the invalidated path refits,
+// counted under store.refit — re-runs coordinator selection, and
+// re-ranks the strategies at d.Size.
+//
+// topo must describe the grid as it is now: a degraded NIC shows up as
+// the changed NodeLinkRates entry, which changes the leaf's TierKey so
+// its old curves cannot be mistaken for current ones, and the refit's
+// headroom probes then steer coordinators off the degraded port.
+// Safe for concurrent use; concurrent ReportDelta calls for one
+// topology serialize on the entry lock like SelectCoordinators.
+func (s *Service) ReportDelta(topo cluster.TopoNode, tierKey string, d Delta) (*Replan, error) {
+	dev := d.RateFactor - 1
+	if dev < 0 {
+		dev = -dev
+	}
+	if dev < DeltaThreshold {
+		return &Replan{Skipped: true}, nil
+	}
+	if d.Size == 0 {
+		d.Size = 64 << 10
+	}
+	sp := s.opt.Trace.Span("service.replan",
+		obs.Str("tier", tierKey), obs.Str("source", d.Source),
+		obs.F64("rate_factor", d.RateFactor), obs.Int("size", d.Size))
+	defer sp.End()
+	dropped := s.Invalidate(tierKey)
+	e := s.entryFor(topo)
+	if e.err != nil {
+		return nil, e.err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	choices, err := e.pl.SelectCoordinators(d.Size)
+	if err != nil {
+		return nil, err
+	}
+	return &Replan{
+		DroppedRecords: dropped,
+		Predictions:    e.pl.Predict(d.Size),
+		Choices:        choices,
+		Spec:           e.pl.PlanSpec(),
+	}, nil
+}
+
 // Len reports how many planners the service currently caches.
 func (s *Service) Len() int {
 	s.mu.Lock()

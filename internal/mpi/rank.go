@@ -81,6 +81,12 @@ func (r *Rank) Size() int { return r.world.Size() }
 // Now returns the current simulated time.
 func (r *Rank) Now() sim.Time { return r.p.Now() }
 
+// Proc returns the rank's simulated process handle, letting collective
+// runtimes coordinate rank coroutines through raw sim.Futures (epoch
+// gates, join barriers) without routing everything through Requests.
+// Valid once the rank body has started.
+func (r *Rank) Proc() *sim.Proc { return r.p }
+
 // Sleep suspends the rank for d of simulated time (models local compute).
 func (r *Rank) Sleep(d sim.Time) { r.p.Sleep(d) }
 
@@ -160,6 +166,47 @@ func (r *Rank) WaitAll(qs ...*Request) {
 	for _, q := range qs {
 		r.p.Await(&q.fut)
 	}
+}
+
+// WaitTimeout blocks until the request completes or d of simulated time
+// elapses. It returns true on completion, false on timeout; on timeout
+// the request stays outstanding and may still complete later.
+func (r *Rank) WaitTimeout(q *Request, d sim.Time) bool {
+	return r.p.AwaitTimeout(&q.fut, d)
+}
+
+// WaitAllTimeout blocks until every request completes or until d of
+// simulated time has elapsed in total (an absolute deadline across the
+// set, not a per-request allowance). It returns true when all
+// completed, false on deadline; incomplete requests stay outstanding.
+func (r *Rank) WaitAllTimeout(d sim.Time, qs ...*Request) bool {
+	deadline := r.Now() + d
+	for _, q := range qs {
+		if q.fut.Done() {
+			continue
+		}
+		rem := deadline - r.Now()
+		if rem <= 0 || !r.p.AwaitTimeout(&q.fut, rem) {
+			return false
+		}
+	}
+	return true
+}
+
+// CancelRecv withdraws a posted receive that has not matched an
+// envelope yet, returning true if it was withdrawn. A receive that
+// already matched (eagerly satisfied, or clear-to-send granted) cannot
+// be withdrawn — its completion simply goes unobserved — and false is
+// returned. Failover uses this to retire an old plan's receives so a
+// recovery plan's envelopes cannot match stale postings.
+func (r *Rank) CancelRecv(q *Request) bool {
+	for i, p := range r.posted {
+		if p == q {
+			r.posted = append(r.posted[:i], r.posted[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // Sendrecv runs a send and a receive concurrently and waits for both,

@@ -38,6 +38,12 @@ type egress struct {
 	// wan marks a router→router egress: a WAN tier link in grid
 	// topologies, whose byte total feeds the CtrWANBytes aggregate.
 	wan bool
+	// down halts the transmitter (see ApplyFaults): enqueued packets
+	// wait, fluid flows crossing the egress freeze at rate zero. The
+	// nominal rate is saved the first time a fault touches the egress so
+	// degradation and recovery can restore it.
+	down        bool
+	nominalRate int64
 	// Live obs counter handles, nil unless AttachCollector wired them:
 	// the disabled hot path pays one nil check per packet.
 	ctrFwd, ctrDrop, ctrWanBytes *obs.Counter
@@ -105,7 +111,7 @@ func (e *egress) reserveBytes(size int, retry func()) bool {
 // reservation leaves the head packet in place (head-of-line blocking)
 // and arranges a retry when space frees.
 func (e *egress) maybeStart() {
-	if e.busy {
+	if e.busy || e.down {
 		return
 	}
 	var pkt *Packet

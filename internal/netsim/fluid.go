@@ -268,6 +268,37 @@ func waterfillFluid(flows []*fluidFlow) {
 	if len(flows) == 0 {
 		return
 	}
+	// A flow crossing a downed link (fault injection, ApplyFaults) is
+	// frozen at rate zero: it keeps its remaining bytes, schedules no
+	// completion timer, and resumes when a recovery transition triggers
+	// the next recompute. It must be excluded here — a down link cannot
+	// be modeled as rate 0 because the rate<=0 test below means
+	// "unconstrained", not "unusable".
+	blocked := false
+	for _, f := range flows {
+		for _, e := range f.links {
+			if e.down {
+				blocked = true
+			}
+		}
+	}
+	if blocked {
+		live := make([]*fluidFlow, 0, len(flows))
+	nextFlow:
+		for _, f := range flows {
+			for _, e := range f.links {
+				if e.down {
+					f.rate = 0
+					continue nextFlow
+				}
+			}
+			live = append(live, f)
+		}
+		flows = live
+		if len(flows) == 0 {
+			return
+		}
+	}
 	type linkState struct {
 		capLeft float64
 		n       int

@@ -107,10 +107,22 @@ type Device struct {
 	cpuBusy bool
 	cpuQ    []*Packet
 
+	// lost marks a host removed by a node-loss fault (ApplyFaults):
+	// arriving packets are blackholed instead of delivered, and every
+	// egress touching the host is down. Permanent — node loss has no
+	// recovery event.
+	lost bool
+
 	// Counters.
 	RxPackets uint64
 	RxBytes   uint64
+	// Blackholed counts packets dropped at delivery because the host was
+	// lost when they arrived.
+	Blackholed uint64
 }
+
+// Lost reports whether a node-loss fault has removed this host.
+func (d *Device) Lost() bool { return d.lost }
 
 // RxCost returns the host's per-packet receive processing cost (zero
 // for kernel-bypass stacks). The fluid pricer reads it to bound a
@@ -125,8 +137,15 @@ func (d *Device) SetRxCost(c sim.Time) {
 	d.rxCost = c
 }
 
-// deliver hands a packet to the transport handler.
+// deliver hands a packet to the transport handler. A lost host
+// blackholes instead: the packet is counted and discarded, producing
+// the silence (no ACKs, no data) a crashed node presents to its peers.
 func (d *Device) deliver(pkt *Packet) {
+	if d.lost {
+		d.Blackholed++
+		d.net.obsC.Add(CtrBlackholed, 1)
+		return
+	}
 	d.RxPackets++
 	d.RxBytes += uint64(pkt.Size)
 	if d.handler != nil {

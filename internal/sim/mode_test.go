@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseMode pins the flag grammar: "packet" and the empty default
+// map to ModePacket, "fluid" to ModeFluid, and anything else is an
+// error naming the bad value.
+func TestParseMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Mode
+	}{
+		{"packet", ModePacket},
+		{"", ModePacket},
+		{"fluid", ModeFluid},
+	} {
+		got, err := ParseMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseMode(%q) = %v, %v; want %v, nil", tc.in, got, err, tc.want)
+		}
+	}
+	got, err := ParseMode("quantum")
+	if err == nil {
+		t.Fatal("ParseMode accepted an unknown mode")
+	}
+	if !strings.Contains(err.Error(), `unknown mode "quantum"`) {
+		t.Fatalf("error %q does not name the bad mode", err)
+	}
+	if got != ModePacket {
+		t.Fatalf("failed parse returned %v, want the packet default", got)
+	}
+}
+
+// TestModeString covers the flag spellings and the out-of-range
+// fallback.
+func TestModeString(t *testing.T) {
+	if ModePacket.String() != "packet" || ModeFluid.String() != "fluid" {
+		t.Fatalf("mode names = %q, %q", ModePacket, ModeFluid)
+	}
+	if got := Mode(7).String(); got != "Mode(7)" {
+		t.Fatalf("Mode(7).String() = %q", got)
+	}
+}

@@ -91,12 +91,20 @@ func (p *Proc) Sleep(d Time) {
 // events at the same instant run first.
 func (p *Proc) Yield() { p.Sleep(0) }
 
+// futWaiter is one parked process waiting on a Future. A timed wait that
+// gives up marks its entry cancelled rather than removing it, so the
+// completion wake-up path can skip it without disturbing wait order.
+type futWaiter struct {
+	p         *Proc
+	cancelled bool
+}
+
 // Future is a one-shot completion that processes can Await. Completing a
 // future wakes all waiters at the current simulated time (in wait order).
 // The zero value is ready to use.
 type Future struct {
 	done    bool
-	waiters []*Proc
+	waiters []*futWaiter
 }
 
 // Done reports whether the future has completed.
@@ -111,7 +119,11 @@ func (f *Future) Complete(s *Simulator) {
 	f.done = true
 	for _, w := range f.waiters {
 		w := w
-		s.After(0, func() { w.unparkNow() })
+		s.After(0, func() {
+			if !w.cancelled {
+				w.p.unparkNow()
+			}
+		})
 	}
 	f.waiters = nil
 }
@@ -122,8 +134,41 @@ func (p *Proc) Await(f *Future) {
 	if f.done {
 		return
 	}
-	f.waiters = append(f.waiters, p)
+	f.waiters = append(f.waiters, &futWaiter{p: p})
 	p.park()
+}
+
+// AwaitTimeout blocks until the future completes or d of simulated time
+// elapses, whichever comes first. It returns true if the future completed
+// and false on timeout; a same-instant tie resolves in event-queue order
+// (whichever event was scheduled first). A false return leaves the
+// future's other waiters untouched; this process simply stops waiting.
+func (p *Proc) AwaitTimeout(f *Future, d Time) bool {
+	if f.done {
+		return true
+	}
+	w := &futWaiter{p: p}
+	f.waiters = append(f.waiters, w)
+	completed := false
+	p.sim.After(d, func() {
+		// If the future completed first, its wake-up already ran (or is
+		// queued ahead of us and set completed before this fires — wake
+		// events are scheduled the moment Complete runs, so they sort
+		// before this timer whenever completion is not later). Cancelling
+		// after completion would be a lost wake-up; the completed flag
+		// guards that. If the waiter is still live, cancel it and wake
+		// the process ourselves so it can report the timeout.
+		if !completed && !w.cancelled {
+			w.cancelled = true
+			p.unparkNow()
+		}
+	})
+	p.park()
+	if w.cancelled {
+		return false
+	}
+	completed = true
+	return true
 }
 
 // AwaitAll blocks until every future in fs has completed.

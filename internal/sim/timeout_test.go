@@ -1,0 +1,122 @@
+package sim
+
+import "testing"
+
+// TestAwaitTimeoutCompletesFirst: completion before the deadline returns
+// true at the completion instant, and the later timer fires as a no-op.
+func TestAwaitTimeoutCompletesFirst(t *testing.T) {
+	s := New(1)
+	var f Future
+	var ok bool
+	var at Time
+	s.Spawn("w", func(p *Proc) {
+		ok = p.AwaitTimeout(&f, 100)
+		at = p.Now()
+	})
+	s.At(30, func() { f.Complete(s) })
+	s.Run()
+	if !ok || at != 30 {
+		t.Fatalf("ok=%v at=%v, want completion at 30", ok, at)
+	}
+	s.MustQuiesce()
+}
+
+// TestAwaitTimeoutExpires: the deadline passing first returns false at
+// the deadline; a completion landing afterwards must not wake the
+// cancelled waiter a second time.
+func TestAwaitTimeoutExpires(t *testing.T) {
+	s := New(1)
+	var f Future
+	var ok bool
+	var at Time
+	wakes := 0
+	s.Spawn("w", func(p *Proc) {
+		ok = p.AwaitTimeout(&f, 20)
+		at = p.Now()
+		wakes++
+		p.Sleep(100) // stay alive across the late completion
+	})
+	s.At(60, func() { f.Complete(s) })
+	s.Run()
+	if ok || at != 20 {
+		t.Fatalf("ok=%v at=%v, want timeout at 20", ok, at)
+	}
+	if wakes != 1 {
+		t.Fatalf("waiter woke %d times, want 1", wakes)
+	}
+	if !f.Done() {
+		t.Fatal("future not completed")
+	}
+	s.MustQuiesce()
+}
+
+// TestAwaitTimeoutAlreadyDone: a completed future returns true without
+// parking or arming a timer.
+func TestAwaitTimeoutAlreadyDone(t *testing.T) {
+	s := New(1)
+	var f Future
+	f.Complete(s)
+	var ok bool
+	var at Time
+	s.Spawn("w", func(p *Proc) {
+		ok = p.AwaitTimeout(&f, 50)
+		at = p.Now()
+	})
+	s.Run()
+	if !ok || at != 0 {
+		t.Fatalf("ok=%v at=%v, want immediate true at 0", ok, at)
+	}
+	if s.Now() != 0 {
+		t.Fatalf("final time = %v: the unused timeout timer should not exist", s.Now())
+	}
+}
+
+// TestAwaitTimeoutSameInstantTie: completion and deadline at the same
+// timestamp resolve in event-queue order. Complete's own event runs
+// first at t=50, but the waiter wake it schedules lands behind the
+// timer armed back at t=0 — so the timer fires before the wake, the
+// waiter is cancelled, and the wait reports a timeout.
+func TestAwaitTimeoutSameInstantTie(t *testing.T) {
+	s := New(1)
+	var f Future
+	var ok bool
+	s.Spawn("w", func(p *Proc) {
+		ok = p.AwaitTimeout(&f, 50) // timer for t=50, armed at t=0
+	})
+	s.At(50, func() { f.Complete(s) }) // wake enqueues at t=50, after the timer
+	s.Run()
+	if ok {
+		t.Fatal("timer queued ahead of the completion wake should win the tie")
+	}
+	if !f.Done() {
+		t.Fatal("future left incomplete")
+	}
+	s.MustQuiesce()
+}
+
+// TestAwaitTimeoutOtherWaitersUntouched: one waiter timing out must not
+// disturb a plain Await on the same future.
+func TestAwaitTimeoutOtherWaitersUntouched(t *testing.T) {
+	s := New(1)
+	var f Future
+	var timedOut, plainAt Time
+	s.Spawn("timed", func(p *Proc) {
+		if p.AwaitTimeout(&f, 10) {
+			t.Error("timed waiter completed, want timeout")
+		}
+		timedOut = p.Now()
+	})
+	s.Spawn("plain", func(p *Proc) {
+		p.Await(&f)
+		plainAt = p.Now()
+	})
+	s.At(40, func() { f.Complete(s) })
+	s.Run()
+	if timedOut != 10 {
+		t.Fatalf("timed waiter gave up at %v, want 10", timedOut)
+	}
+	if plainAt != 40 {
+		t.Fatalf("plain waiter resumed at %v, want 40", plainAt)
+	}
+	s.MustQuiesce()
+}

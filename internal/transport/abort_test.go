@@ -1,0 +1,71 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// buildNamedPair is buildStar with uniquely named hosts, so a node
+// fault schedule can target one by name.
+func buildNamedPair(seed int64, fcfg FabricConfig) (*sim.Simulator, *netsim.Network, *Fabric) {
+	s := sim.New(seed)
+	nw := netsim.New(s)
+	sw := nw.AddSwitch("sw", netsim.SwitchConfig{PortBuffer: 1 << 20})
+	hosts := make([]*netsim.Device, 2)
+	for i, name := range []string{"h0", "h1"} {
+		hosts[i] = nw.AddHost(name)
+		nw.Connect(hosts[i], sw, gigELink)
+	}
+	nw.ComputeRoutes()
+	return s, nw, NewFabric(nw, hosts, fcfg)
+}
+
+// TestQuenchDrainsAfterNodeLoss: a transfer in flight toward a host
+// that dies mid-stream would retransmit into the blackhole forever;
+// Quench on the dead host aborts both directions so the event loop
+// drains. Without the abort this test would never return.
+func TestQuenchDrainsAfterNodeLoss(t *testing.T) {
+	for _, kind := range []Kind{TCP, GM} {
+		s, nw, f := buildNamedPair(1, FabricConfig{Kind: kind})
+		delivered := 0
+		f.Conn(1, 0).SetHandler(func(m Message) { delivered++ })
+		// ~8 ms of payload; the host dies at 2 ms, mid-transfer.
+		f.Conn(0, 1).Send(Message{Kind: 1, Tag: 1, MsgSeq: 1, Size: 1_000_000})
+		fs := netsim.FaultSchedule{Nodes: []netsim.NodeFault{{Host: "h1", At: 2 * sim.Millisecond}}}
+		if err := nw.ApplyFaults(fs); err != nil {
+			t.Fatal(err)
+		}
+		// The failure detector "declares" h1 dead at 5 ms and quenches.
+		s.At(5*sim.Millisecond, func() { f.Quench(1) })
+		s.Run()
+		if delivered != 0 {
+			t.Fatalf("%v: %d messages delivered to a host dead mid-transfer", kind, delivered)
+		}
+		// Leftover timers fire as no-ops; the clock must stay bounded
+		// instead of marching on retransmission backoff forever.
+		if s.Now() > 10*sim.Second {
+			t.Fatalf("%v: clock ran to %v after quench", kind, s.Now())
+		}
+		s.MustQuiesce()
+	}
+}
+
+// TestQuenchIdempotent: quenching an idle fabric, or the same host
+// twice, is harmless and the fabric's other connections keep working.
+func TestQuenchIdempotent(t *testing.T) {
+	for _, kind := range []Kind{TCP, GM} {
+		s, _, f := buildNamedPair(2, FabricConfig{Kind: kind})
+		f.Quench(1)
+		f.Quench(1)
+		got := 0
+		f.Conn(1, 0).SetHandler(func(m Message) { got++ })
+		f.Conn(0, 1).Send(Message{Kind: 1, Tag: 1, MsgSeq: 1, Size: 1000})
+		s.Run()
+		if got != 0 {
+			t.Fatalf("%v: aborted connection delivered %d messages", kind, got)
+		}
+		s.MustQuiesce()
+	}
+}

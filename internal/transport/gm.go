@@ -25,6 +25,9 @@ type gmConn struct {
 	rcvd      int64 // in-order payload bytes received
 	inMeta    []msgBound
 	stats     ConnStats
+
+	// aborted kills the half (see Conn.Abort).
+	aborted bool
 }
 
 func newGMHalf(n *netsim.Network, epA, epB *Endpoint, cfg GMConfig) *gmConn {
@@ -48,6 +51,9 @@ func (c *gmConn) Send(msg Message) {
 	if msg.Size <= 0 {
 		panic(fmt.Sprintf("transport: message size %d must be positive", msg.Size))
 	}
+	if c.aborted {
+		return
+	}
 	c.stats.MsgsSent++
 	c.stats.BytesSent += int64(msg.Size)
 	c.streamLen += int64(msg.Size)
@@ -70,10 +76,20 @@ func (c *gmConn) SetHandler(h Handler) { c.handler = h }
 
 func (c *gmConn) Stats() ConnStats { return c.stats }
 
+// Abort kills this half: later sends are dropped and arriving packets
+// are ignored. GM has no timers, so there is nothing to disarm.
+func (c *gmConn) Abort() {
+	c.aborted = true
+	c.inMeta = nil
+}
+
 // onData counts arrived bytes and delivers completed messages. The
 // lossless network guarantees FIFO, loss-free delivery, so a running
 // counter suffices.
 func (c *gmConn) onData(pkt *netsim.Packet) {
+	if c.aborted {
+		return
+	}
 	c.rcvd += int64(pkt.Payload)
 	for len(c.inMeta) > 0 && c.inMeta[0].end <= c.rcvd {
 		m := c.inMeta[0]

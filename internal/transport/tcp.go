@@ -71,6 +71,10 @@ type tcpConn struct {
 	fluidPath    netsim.PathInfo
 	fluidBusy    bool // a fluid transfer is in flight on this half
 	pendQ        []pendMsg
+
+	// aborted kills the half (see Conn.Abort): sends are dropped, timers
+	// disarm, arriving packets are ignored.
+	aborted bool
 }
 
 // pendMsg is a message held back to preserve FIFO ordering between the
@@ -112,6 +116,9 @@ func linkMirror(a, b *tcpConn) {
 func (c *tcpConn) Send(msg Message) {
 	if msg.Size <= 0 {
 		panic(fmt.Sprintf("transport: message size %d must be positive", msg.Size))
+	}
+	if c.aborted {
+		return
 	}
 	c.stats.MsgsSent++
 	c.stats.BytesSent += int64(msg.Size)
@@ -243,12 +250,18 @@ func (c *tcpConn) startFluid(msg Message) {
 // exactly as the byte stream pipelines back-to-back messages, while
 // delivery of the drained transfer is still one path latency away.
 func (c *tcpConn) onFluidDrained() {
+	if c.aborted {
+		return
+	}
 	c.fluidBusy = false
 	c.pumpPend()
 }
 
 // onFluidDeliver completes a fluid transfer at the receiver.
 func (c *tcpConn) onFluidDeliver(msg Message) {
+	if c.aborted || c.mirror.aborted {
+		return
+	}
 	if c.mirror.handler != nil {
 		c.mirror.handler(msg)
 	}
@@ -258,6 +271,9 @@ func (c *tcpConn) onFluidDeliver(msg Message) {
 // allow: a fluid head still waits for the stream to drain, a stream
 // head waits for no in-flight fluid transfer.
 func (c *tcpConn) pumpPend() {
+	if c.aborted {
+		return
+	}
 	for !c.fluidBusy && len(c.pendQ) > 0 {
 		p := c.pendQ[0]
 		if p.fluid && !c.streamDrained() {
@@ -275,6 +291,23 @@ func (c *tcpConn) pumpPend() {
 
 // SetHandler installs the message delivery callback for this side.
 func (c *tcpConn) SetHandler(h Handler) { c.handler = h }
+
+// Abort kills this half: pending queues are dropped, the RTO and
+// delayed-ACK timers are disarmed, and every later send, ACK, data
+// arrival, or fluid completion is ignored. In-flight packets still
+// traverse the network but produce no transport reaction on arrival
+// here, so an aborted connection stops generating events.
+func (c *tcpConn) Abort() {
+	if c.aborted {
+		return
+	}
+	c.aborted = true
+	c.stopTimer()
+	c.delackGen++
+	c.unackedPkts = 0
+	c.pendQ = nil
+	c.fluidBusy = false
+}
 
 // Stats returns the sender-half counters.
 func (c *tcpConn) Stats() ConnStats { return c.stats }
@@ -306,6 +339,9 @@ func (c *tcpConn) window() int {
 // trySend transmits new segments while the window allows and the host
 // NIC transmit queue has room (device-queue pacing).
 func (c *tcpConn) trySend() {
+	if c.aborted {
+		return
+	}
 	c.txWait = false
 	for c.sndNxt < c.streamLen {
 		inflight := int(c.sndNxt - c.sndUna)
@@ -410,6 +446,9 @@ func (c *tcpConn) onTimeout() {
 
 // onAck processes a cumulative acknowledgment arriving at the sender.
 func (c *tcpConn) onAck(pkt *netsim.Packet) {
+	if c.aborted {
+		return
+	}
 	ack := pkt.Ack
 	if ack > c.sndNxt {
 		ack = c.sndNxt
@@ -599,6 +638,9 @@ func (c *tcpConn) sampleRTT(r sim.Time) {
 // duplicates, holes — is acknowledged immediately so the sender's loss
 // detection keeps working.
 func (c *tcpConn) onData(pkt *netsim.Packet) {
+	if c.aborted {
+		return
+	}
 	seq, end := pkt.Seq, pkt.Seq+int64(pkt.Payload)
 	switch {
 	case end <= c.rcvNxt:

@@ -50,6 +50,13 @@ type Conn interface {
 	SetHandler(h Handler)
 	// Stats returns transport counters for this side's sender half.
 	Stats() ConnStats
+	// Abort kills this side of the connection: pending transmissions are
+	// dropped, armed timers are disarmed, and subsequent sends and
+	// arriving packets are ignored. Used when the peer (or this host) is
+	// declared dead — an aborted connection generates no further events,
+	// so the simulation can drain instead of retransmitting into a
+	// blackhole forever.
+	Abort()
 }
 
 // ConnStats counts sender-half protocol activity.
@@ -318,6 +325,21 @@ func NewFabric(n *netsim.Network, hosts []*netsim.Device, cfg FabricConfig) *Fab
 
 // Conn returns host i's connection with peer j.
 func (f *Fabric) Conn(i, j int) Conn { return f.conns[i][j] }
+
+// Quench aborts every connection touching host i, in both directions:
+// host i's halves and every peer's half facing i. Call it when host i
+// is declared dead, so surviving senders stop retransmitting into the
+// blackhole and the event loop can drain.
+func (f *Fabric) Quench(i int) {
+	for j := range f.conns {
+		if f.conns[i][j] != nil {
+			f.conns[i][j].Abort()
+		}
+		if f.conns[j][i] != nil {
+			f.conns[j][i].Abort()
+		}
+	}
+}
 
 // NumHosts returns the mesh size.
 func (f *Fabric) NumHosts() int { return len(f.eps) }
