@@ -1,6 +1,6 @@
 // Command atabench runs the paper-reproduction experiments (one per
 // figure, plus the signature table, the ablations, and the grid
-// prediction-vs-simulation experiments GR1–GR6) and prints their data
+// prediction-vs-simulation experiments GR1–GR7) and prints their data
 // series.
 //
 // Usage:
@@ -8,6 +8,7 @@
 //	atabench -list
 //	atabench -exp F09                 # one experiment, CI scale
 //	atabench -exp F09 -full           # paper-scale grids (slow)
+//	atabench -exp GR7 -coll allreduce # collective suite, one kind
 //	atabench -all -scale 0.25 -csv
 package main
 
@@ -24,17 +25,18 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list experiments and exit")
-		expID   = flag.String("exp", "", "experiment id to run (e.g. F09, TA, AB2)")
-		all     = flag.Bool("all", false, "run every experiment")
-		full    = flag.Bool("full", false, "paper-scale grids (slow)")
-		scale   = flag.Float64("scale", 0, "explicit scale factor (overrides -full)")
-		reps    = flag.Int("reps", 0, "repetitions per point")
-		seed    = flag.Int64("seed", 0, "simulation seed")
-		csv     = flag.Bool("csv", false, "CSV output instead of aligned tables")
-		alg     = flag.String("alg", "postall", "alltoall algorithm: direct|postall|bruck|pairwise")
-		trace   = flag.String("trace", "", "write an NDJSON observability trace of the grid experiments' planner runs to this file")
-		simMode = flag.String("sim", "packet", "simulation engine for grid planner characterizations: packet|fluid")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		expID    = flag.String("exp", "", "experiment id to run (e.g. F09, TA, AB2)")
+		all      = flag.Bool("all", false, "run every experiment")
+		full     = flag.Bool("full", false, "paper-scale grids (slow)")
+		scale    = flag.Float64("scale", 0, "explicit scale factor (overrides -full)")
+		reps     = flag.Int("reps", 0, "repetitions per point")
+		seed     = flag.Int64("seed", 0, "simulation seed")
+		csv      = flag.Bool("csv", false, "CSV output instead of aligned tables")
+		alg      = flag.String("alg", "postall", "alltoall algorithm: direct|postall|bruck|pairwise")
+		trace    = flag.String("trace", "", "write an NDJSON observability trace of the grid experiments' planner runs to this file")
+		simMode  = flag.String("sim", "packet", "simulation engine for grid planner characterizations: packet|fluid")
+		collKind = flag.String("coll", "", "restrict the collective-suite experiment (GR7) to one kind: allgather|broadcast|reduce|reduce-scatter|allreduce")
 	)
 	flag.Parse()
 
@@ -67,6 +69,13 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.SimMode = mode
+	if *collKind != "" {
+		if _, err := coll.ParseKind(*collKind); err != nil {
+			fmt.Fprintf(os.Stderr, "atabench: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Coll = *collKind
+	}
 	switch *alg {
 	case "direct":
 		cfg.Algorithm = coll.Direct

@@ -17,9 +17,15 @@
 // from the trace has value 0 — traces only carry counters that were
 // actually fed.
 //
+// Repeatable -span flags assert that a named span was opened at least
+// once in the trace — e.g. that a planner run actually exercised the
+// collective suite's traced validation path:
+//
+//	tracecheck -span simulate.kind trace.ndjson
+//
 // Usage:
 //
-//	tracecheck [-counter name=value]... <trace.ndjson|->
+//	tracecheck [-counter name=value]... [-span name]... <trace.ndjson|->
 //	gridplanner -trace /dev/stdout | tracecheck -
 package main
 
@@ -86,11 +92,26 @@ func parseAssertion(s string) (counterAssertion, error) {
 	return counterAssertion{name: name, value: v, op: op}, nil
 }
 
-// traceCounters extracts the final counter values from a validated
-// trace: the synthetic "counter" lines WriteNDJSON appends per fed
-// counter. Counters never mentioned are implicitly 0.
-func traceCounters(trace []byte) (map[string]uint64, error) {
+// stringList collects repeated -span flags.
+type stringList []string
+
+func (l *stringList) String() string { return strings.Join(*l, ",") }
+
+func (l *stringList) Set(s string) error {
+	if s == "" {
+		return fmt.Errorf("span name must be non-empty")
+	}
+	*l = append(*l, s)
+	return nil
+}
+
+// traceCounters extracts the final counter values and the set of opened
+// span names from a validated trace: the synthetic "counter" lines
+// WriteNDJSON appends per fed counter, and each "span.start" line's
+// name. Counters never mentioned are implicitly 0.
+func traceCounters(trace []byte) (map[string]uint64, map[string]bool, error) {
 	out := map[string]uint64{}
+	spans := map[string]bool{}
 	sc := bufio.NewScanner(bytes.NewReader(trace))
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	for sc.Scan() {
@@ -104,21 +125,26 @@ func traceCounters(trace []byte) (map[string]uint64, error) {
 			Value float64 `json:"value"`
 		}
 		if err := json.Unmarshal([]byte(line), &m); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		if m.Type == "counter" {
+		switch m.Type {
+		case "counter":
 			out[m.Name] = uint64(m.Value)
+		case "span.start":
+			spans[m.Name] = true
 		}
 	}
-	return out, sc.Err()
+	return out, spans, sc.Err()
 }
 
 func main() {
 	var asserts assertionList
+	var spanAsserts stringList
 	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
 	fs.Var(&asserts, "counter", "assert a final counter value, name=value, name>=value or name<=value (repeatable; absent counters are 0)")
+	fs.Var(&spanAsserts, "span", "assert the trace opened at least one span with this name (repeatable)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-counter name=value]... <trace.ndjson|->")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-counter name=value]... [-span name]... <trace.ndjson|->")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -153,12 +179,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
 		os.Exit(1)
 	}
-	counters, err := traceCounters(trace)
+	counters, spans, err := traceCounters(trace)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
 		os.Exit(1)
 	}
 	failed := 0
+	for _, name := range spanAsserts {
+		if !spans[name] {
+			fmt.Fprintf(os.Stderr, "tracecheck: trace opened no span named %q\n", name)
+			failed++
+		}
+	}
 	for _, a := range asserts {
 		got := counters[a.name]
 		var ok bool
@@ -181,6 +213,9 @@ func main() {
 	fmt.Printf("trace ok: %d lines", n)
 	if len(asserts) > 0 {
 		fmt.Printf(", %d counter assertions", len(asserts))
+	}
+	if len(spanAsserts) > 0 {
+		fmt.Printf(", %d span assertions", len(spanAsserts))
 	}
 	fmt.Println()
 }

@@ -271,6 +271,39 @@ func main() {
 	fmt.Printf("one simulated %s exchange of the hotspot matrix (%d B total): %.2fs\n",
 		vplan.Alg, hotspot.Total(), measV.Mean())
 
+	// The same characterization prices the whole collective suite: the
+	// solver's reduction and redistribution phases reuse the fitted tier
+	// curves and κ through the per-kind decomposition (docs/MODEL.md §9),
+	// with one lazily calibrated correction curve per kind — persisted in
+	// the store like every other fit, so warm runs predict the suite
+	// without probing.
+	fmt.Printf("\ncollective suite on %s at %d B per rank:\n", threeLvl.Name, msgSize)
+	for _, kind := range []coll.Kind{coll.KindBroadcast, coll.KindAllgather, coll.KindAllreduce} {
+		preds, err := svc.PredictKind(threeLvl, kind, msgSize)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %-15s best %-12s %.3fs  (", kind, preds[0].Strategy, preds[0].T)
+		for i, pr := range preds {
+			if i > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Printf("%s=%.3fs", pr.Strategy, pr.T)
+		}
+		fmt.Println(")")
+	}
+	// Ground-truth one suite plan end to end: compile allreduce over the
+	// selected coordinator tree and run it traced (a simulate.kind span
+	// with per-phase events; the run counts under planner.validations,
+	// so a warm store still reports planner.probes=0).
+	tAr, arPhases, err := grid.SimulateSpecKindTraced(tc, threeLvl, threePlanner.PlanSpec(),
+		coll.KindAllreduce, coll.HierGather, msgSize, 1, 1, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("one simulated allreduce at %d B per rank: %.2fs over %d traced phases\n",
+		msgSize, tAr, len(arPhases))
+
 	if *storePath != "" {
 		// SaveFile writes atomically (temp file + rename), so a crash
 		// mid-save never leaves a torn store for the next run to load.

@@ -39,7 +39,11 @@ import (
 // delivered only when its destination rank receives it, each epoch's
 // recovery plan excludes already-delivered blocks, and Verify checks
 // that no block was delivered twice. Blocks whose source or destination
-// died are waived — all-to-all semantics cannot be preserved for them.
+// died are waived — the collective's semantics cannot be preserved for
+// them. The obligations verified are the plan's Universe, so the same
+// protocol covers every kind PlanKindTree compiles: All-to-All's full
+// pair matrix, Allgather's forwarded contributions, a rooted relay's
+// (src→root) and (root→dst) legs.
 //
 // With no faults the executor posts exactly the operation sequence of
 // AlltoallHierPlanned — same order, same tags, same sizes — so an empty
@@ -152,6 +156,7 @@ type FailoverRun struct {
 	dead      map[int]bool
 	deadList  []int
 	delivered map[Block]bool
+	universe  []Block // the base plan's delivery obligations
 	epochs    []*epochState
 	reqs      [][]reqInfo // per rank: outstanding current-phase requests
 	done      bool
@@ -162,8 +167,9 @@ type FailoverRun struct {
 }
 
 // NewFailoverRun prepares a failover execution of a compiled uniform
-// plan with per-block payload m. Size-bound plans (PlanHierTreeV) are
-// not supported: recovery replanning assumes the uniform block model.
+// plan of any kind with per-rank payload m. Size-bound plans
+// (PlanHierTreeV) are not supported: recovery replanning assumes the
+// uniform block model.
 func NewFailoverRun(plan *HierPlan, m int, cfg FailoverConfig) *FailoverRun {
 	if plan.vbytes != nil {
 		panic("coll: failover supports uniform plans only")
@@ -178,6 +184,7 @@ func NewFailoverRun(plan *HierPlan, m int, cfg FailoverConfig) *FailoverRun {
 		cfg:       cfg.withDefaults(),
 		dead:      make(map[int]bool),
 		delivered: make(map[Block]bool),
+		universe:  plan.Universe(),
 		reqs:      make([][]reqInfo, n),
 		finishAt:  make([]sim.Time, n),
 	}
@@ -186,7 +193,7 @@ func NewFailoverRun(plan *HierPlan, m int, cfg FailoverConfig) *FailoverRun {
 	st.bytes = make([]int, len(plan.msgs))
 	for i, msg := range plan.msgs {
 		st.carried[i] = msg.blocks
-		st.bytes[i] = len(msg.blocks) * m
+		st.bytes[i] = plan.msgBytesAt(i, m)
 	}
 	fr.epochs = []*epochState{st}
 	return fr
@@ -217,6 +224,7 @@ func (fr *FailoverRun) Run(r *mpi.Rank) {
 			st.finished++
 			if st.finished >= fr.liveCount() {
 				fr.done = true
+				fr.sweepQuench()
 				st.gate.Complete(fr.s)
 			} else {
 				r.Proc().Await(&st.gate)
@@ -330,8 +338,29 @@ func (fr *FailoverRun) waitPhase(r *mpi.Rank, st *epochState) bool {
 		spurious++
 		if spurious >= fr.cfg.GiveUpAfter {
 			fr.failed = true
+			fr.sweepQuench()
 			st.gate.Complete(fr.s)
 			return false
+		}
+	}
+}
+
+// sweepQuench aborts transport touching ranks that died without ever
+// being declared. An All-to-All-shaped plan always detects a death —
+// every rank both sends and receives — but a rooted plan can have pure
+// receivers: a leaf whose broadcast payload was already in flight when
+// its node died completes the run from every survivor's perspective,
+// yet its host can no longer acknowledge, so the sender's transport
+// would retransmit the tail forever and keep the simulation from
+// draining. Called once at every run-ending transition; the swept ranks
+// are NOT recorded dead (their obligations were met), only silenced.
+func (fr *FailoverRun) sweepQuench() {
+	if fr.cfg.IsDead == nil || fr.cfg.Quench == nil {
+		return
+	}
+	for rk := 0; rk < fr.base.Tree.NumRanks(); rk++ {
+		if !fr.dead[rk] && fr.cfg.IsDead(rk) {
+			fr.cfg.Quench(rk)
 		}
 	}
 }
@@ -353,6 +382,7 @@ func (fr *FailoverRun) declare(r *mpi.Rank, st *epochState, ranks []int) {
 	}
 	if st.idx+1 >= fr.cfg.MaxEpochs {
 		fr.failed = true
+		fr.sweepQuench()
 		st.gate.Complete(fr.s)
 		return
 	}
@@ -413,7 +443,7 @@ func (fr *FailoverRun) markDelivered(me int, ri reqInfo) {
 // are offset per epoch so recovery messages can never match a stale
 // posting from an earlier epoch.
 func (fr *FailoverRun) compileRecovery(st *epochState) {
-	plan := PlanHierTree(fr.recoverySpec(), fr.base.Alg)
+	plan := PlanKindTree(fr.recoverySpec(), fr.base.Kind, fr.base.Alg)
 	st.plan = plan
 	st.tagOff = int32(st.idx) * epochTagStride
 	st.carried = make([][]Block, len(plan.msgs))
@@ -425,7 +455,7 @@ func (fr *FailoverRun) compileRecovery(st *epochState) {
 			}
 			st.carried[i] = append(st.carried[i], b)
 		}
-		st.bytes[i] = len(st.carried[i]) * fr.m
+		st.bytes[i] = KindMsgBytes(fr.base.Kind, st.carried[i], fr.m)
 	}
 }
 
@@ -520,7 +550,6 @@ func (fr *FailoverRun) liveCount() int {
 
 // Result summarizes the run; call it after the world has quiesced.
 func (fr *FailoverRun) Result() FailoverResult {
-	n := fr.base.Tree.NumRanks()
 	res := FailoverResult{
 		Epochs:          fr.epoch + 1,
 		DeliveredBlocks: len(fr.delivered),
@@ -530,22 +559,18 @@ func (fr *FailoverRun) Result() FailoverResult {
 	}
 	res.Dead = append([]int(nil), fr.deadList...)
 	sort.Ints(res.Dead)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j || (!fr.dead[i] && !fr.dead[j]) {
-				continue
-			}
-			if !fr.delivered[Block{Src: i, Dst: j}] {
-				res.WaivedBlocks++
-			}
+	for _, b := range fr.universe {
+		if (fr.dead[b.Src] || fr.dead[b.Dst]) && !fr.delivered[b] {
+			res.WaivedBlocks++
 		}
 	}
 	return res
 }
 
-// Verify checks the run's delivery invariants: every block between two
-// surviving ranks arrived at its destination exactly once, and nothing
-// arrived twice. It returns nil on success.
+// Verify checks the run's delivery invariants: every obligation of the
+// plan's Universe between two surviving ranks arrived at its
+// destination exactly once, and nothing arrived twice. It returns nil
+// on success.
 func (fr *FailoverRun) Verify() error {
 	if fr.dups != 0 {
 		return fmt.Errorf("coll: %d blocks delivered more than once", fr.dups)
@@ -554,15 +579,12 @@ func (fr *FailoverRun) Verify() error {
 		return fmt.Errorf("coll: failover run abandoned after %d epochs (dead: %v)",
 			fr.epoch+1, fr.deadList)
 	}
-	n := fr.base.Tree.NumRanks()
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j || fr.dead[i] || fr.dead[j] {
-				continue
-			}
-			if !fr.delivered[Block{Src: i, Dst: j}] {
-				return fmt.Errorf("coll: block %d→%d never delivered", i, j)
-			}
+	for _, b := range fr.universe {
+		if fr.dead[b.Src] || fr.dead[b.Dst] {
+			continue
+		}
+		if !fr.delivered[b] {
+			return fmt.Errorf("coll: block %d→%d never delivered", b.Src, b.Dst)
 		}
 	}
 	return nil

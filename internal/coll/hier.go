@@ -442,9 +442,12 @@ type hierPhase struct {
 	recvs []planOp
 }
 
-// HierPlan is a compiled hierarchical All-to-All for one topology.
+// HierPlan is a compiled hierarchical collective for one topology.
 type HierPlan struct {
 	Alg HierAlgorithm
+	// Kind is the collective the plan implements. The zero value is
+	// KindAlltoall: plans compiled by PlanHierTree are All-to-All plans.
+	Kind Kind
 	// Place is the leaf-granularity flattening of the topology (leaf
 	// index = cluster index), kept for executors and diagnostics.
 	Place Placement
@@ -456,6 +459,25 @@ type HierPlan struct {
 	// was compiled from a SizeMatrix (PlanHierTreeV), indexed like msgs;
 	// nil for uniform plans, whose executor multiplies blocks by m.
 	vbytes []int
+	// kweights carries each message's payload multiple of m for kinds
+	// whose wire bytes are not blocks·m (Allgather forwards one copy
+	// per source, Reduce-scatter one partial per destination, rooted
+	// relays exactly m); nil for All-to-All plans.
+	kweights []int
+}
+
+// msgBytesAt returns message i's payload bytes at per-rank size m,
+// honoring a bound size matrix (vbytes) or a per-kind weighting
+// (kweights); All-to-All plans fall through to blocks·m.
+func (p *HierPlan) msgBytesAt(i, m int) int {
+	switch {
+	case p.vbytes != nil:
+		return p.vbytes[i]
+	case p.kweights != nil:
+		return p.kweights[i] * m
+	default:
+		return len(p.msgs[i].blocks) * m
+	}
 }
 
 // NumPhases returns the deepest per-rank phase count of the plan.

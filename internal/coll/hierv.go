@@ -50,6 +50,7 @@ func (p *HierPlan) BindSizes(sz SizeMatrix) error {
 		vb[i] = t
 	}
 	p.vbytes = vb
+	p.Kind = KindAlltoallv
 	return nil
 }
 

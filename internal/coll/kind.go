@@ -1,0 +1,352 @@
+package coll
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// The collective suite on TreeSpec. PlanHierTree compiles the
+// hierarchical All-to-All; the other collectives a grid schedules —
+// Allgather, Broadcast, Reduce, Reduce-scatter, Allreduce — route
+// through the same coordinator trees (the MagPIe/LaPIe per-collective
+// wide-area plans). PlanKindTree generalizes the builder: every kind
+// reuses the rendezvous-safe phase machinery, the coordinator sets and
+// standbys, and the block-annotated exactly-once verification; what
+// changes per kind is the block flow and how many bytes each message
+// carries.
+//
+// Allgather and Reduce-scatter are the gather/scatter halves of the
+// All-to-All structure: the message set and phases are identical, but a
+// message's payload collapses to one m-byte contribution per distinct
+// source (Allgather forwards each source's block once) or per distinct
+// destination (Reduce-scatter combines partial sums addressed to the
+// same rank). Broadcast and Reduce are rooted relays over the same
+// tree's delegates, and Allreduce is Reduce∘Broadcast over that relay —
+// the reduction converges on the root, then the result fans back out.
+
+// Kind identifies a collective operation of the suite. The zero value
+// is KindAlltoall, so plans compiled before the suite existed keep
+// their meaning.
+type Kind int
+
+const (
+	// KindAlltoall is the uniform All-to-All: every rank owes every
+	// other rank m bytes.
+	KindAlltoall Kind = iota
+	// KindAlltoallv is the irregular All-to-All over a SizeMatrix
+	// (PlanHierTreeV).
+	KindAlltoallv
+	// KindAllgather delivers every rank's m-byte contribution to every
+	// rank.
+	KindAllgather
+	// KindBroadcast delivers the root's m bytes to every rank.
+	KindBroadcast
+	// KindReduce combines every rank's m-byte contribution at the root.
+	KindReduce
+	// KindReduceScatter combines contributions and leaves each rank its
+	// own m-byte share of the result.
+	KindReduceScatter
+	// KindAllreduce combines every contribution and delivers the m-byte
+	// result to every rank (Reduce∘Broadcast).
+	KindAllreduce
+)
+
+// Kinds lists the suite in a stable order.
+var Kinds = []Kind{
+	KindAlltoall, KindAlltoallv, KindAllgather, KindBroadcast,
+	KindReduce, KindReduceScatter, KindAllreduce,
+}
+
+// String names the kind as used in flags, store keys and spans.
+func (k Kind) String() string {
+	switch k {
+	case KindAlltoall:
+		return "alltoall"
+	case KindAlltoallv:
+		return "alltoallv"
+	case KindAllgather:
+		return "allgather"
+	case KindBroadcast:
+		return "broadcast"
+	case KindReduce:
+		return "reduce"
+	case KindReduceScatter:
+		return "reduce-scatter"
+	case KindAllreduce:
+		return "allreduce"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind inverts String.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("coll: unknown collective kind %q", s)
+}
+
+// Rooted reports whether the kind has a distinguished root rank
+// (Broadcast and Reduce; plans fix it at rank 0).
+func (k Kind) Rooted() bool { return k == KindBroadcast || k == KindReduce }
+
+// PlanKindTree compiles the hierarchical plan of one collective kind
+// over a topology tree. KindAlltoall compiles exactly the PlanHierTree
+// plan (same messages, phases, tags and sizes). Rooted kinds fix the
+// root at rank 0. KindAlltoallv is rejected: irregular plans need a
+// size matrix — use PlanHierTreeV.
+func PlanKindTree(spec TreeSpec, kind Kind, alg HierAlgorithm) *HierPlan {
+	switch kind {
+	case KindAlltoall:
+		return PlanHierTree(spec, alg)
+	case KindAlltoallv:
+		panic("coll: Alltoallv plans bind a size matrix; use PlanHierTreeV")
+	case KindAllgather:
+		p := PlanHierTree(spec, alg)
+		p.Kind = kind
+		p.kweights = blockWeights(p.msgs, distinctSrcs)
+		return p
+	case KindReduceScatter:
+		p := PlanHierTree(spec, alg)
+		p.Kind = kind
+		p.kweights = blockWeights(p.msgs, distinctDsts)
+		return p
+	case KindBroadcast, KindReduce, KindAllreduce:
+		return planRooted(spec, kind, alg)
+	default:
+		panic(fmt.Sprintf("coll: unknown collective kind %d", int(kind)))
+	}
+}
+
+// blockWeights computes each message's payload multiple of m under a
+// per-kind weighting of its carried blocks.
+func blockWeights(msgs []*hierMsg, weigh func([]Block) int) []int {
+	out := make([]int, len(msgs))
+	for i, m := range msgs {
+		out[i] = weigh(m.blocks)
+	}
+	return out
+}
+
+// distinctSrcs counts distinct block sources: an Allgather message
+// forwards one m-byte contribution per source it covers, however many
+// destinations each is bound for.
+func distinctSrcs(blocks []Block) int {
+	seen := make(map[int]bool, len(blocks))
+	for _, b := range blocks {
+		seen[b.Src] = true
+	}
+	return len(seen)
+}
+
+// distinctDsts counts distinct block destinations: a Reduce-scatter
+// message combines same-destination contributions into one m-byte
+// partial sum before it travels.
+func distinctDsts(blocks []Block) int {
+	seen := make(map[int]bool, len(blocks))
+	for _, b := range blocks {
+		seen[b.Dst] = true
+	}
+	return len(seen)
+}
+
+// relayEdge is one hop of the rooted delegate relay: parent holds the
+// payload (or receives the partial) for the subtree whose ranks are
+// covers, child is the subtree's delegate. Levels count from the root's
+// sends (level 0); broadcast runs edges top-down, reduce bottom-up.
+type relayEdge struct {
+	parent, child int
+	level         int
+	covers        []int
+}
+
+// relayTree builds the delegate relay of a compiled topology rooted at
+// rank root: at each node the current holder forwards to every child
+// subtree's delegate — the holder itself when the subtree contains it,
+// else the subtree's first coordinator (so selected inner-tier and leaf
+// coordinator sets steer the relay) — and leaves fan out to members.
+func relayTree(tp TreePlacement, root int) []relayEdge {
+	var edges []relayEdge
+	contains := func(sorted []int, r int) bool {
+		lo, hi := 0, len(sorted)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if sorted[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo < len(sorted) && sorted[lo] == r
+	}
+	delegate := func(v *pnode, src int) int {
+		if contains(v.ranks, src) {
+			return src
+		}
+		return v.coords[0]
+	}
+	var build func(v *pnode, src, level int)
+	build = func(v *pnode, src, level int) {
+		if v.leaf() {
+			for _, r := range v.ranks {
+				if r != src {
+					edges = append(edges, relayEdge{parent: src, child: r, level: level, covers: []int{r}})
+				}
+			}
+			return
+		}
+		for _, c := range v.children {
+			d := delegate(c, src)
+			if d != src {
+				edges = append(edges, relayEdge{parent: src, child: d, level: level, covers: c.ranks})
+			}
+			build(c, d, level+1)
+		}
+	}
+	build(tp.root, root, 0)
+	return edges
+}
+
+// planRooted compiles Broadcast, Reduce, or their composition Allreduce
+// over the topology's delegate relay, rooted at rank 0. Every message
+// carries exactly m bytes (a broadcast payload is replicated, a
+// reduction forwards one combined partial), so kweights is all ones.
+//
+// Broadcast edges run top-down: a level-ℓ hop is received in phase ℓ
+// and forwarded in phase ℓ+1, so each rank's own phase order encodes
+// the data dependency. Reduce mirrors the relay bottom-up: a level-ℓ
+// hop sends in phase L−ℓ after its children's partials arrived in
+// L−ℓ−1. Allreduce appends the broadcast phases after the reduce ones.
+// Blocks carry the delivery obligations the failover runtime and the
+// property tests verify: (src → root) per contribution on the way up,
+// (root → dst) per result copy on the way down, each delivered exactly
+// once at its terminal rank.
+func planRooted(spec TreeSpec, kind Kind, alg HierAlgorithm) *HierPlan {
+	const root = 0
+	tp := NewTreePlacement(spec)
+	edges := relayTree(tp, root)
+	maxLevel := 0
+	for _, e := range edges {
+		if e.level > maxLevel {
+			maxLevel = e.level
+		}
+	}
+	b := newPlanBuilder(tp.NumRanks())
+	emitReduce := func(phaseOff int) {
+		for _, e := range edges {
+			blocks := make([]Block, 0, len(e.covers))
+			for _, j := range e.covers {
+				blocks = append(blocks, Block{Src: j, Dst: root})
+			}
+			ph := phaseOff + maxLevel - e.level
+			b.msg(e.child, ph, e.parent, ph, blocks)
+		}
+	}
+	emitBcast := func(phaseOff int) {
+		for _, e := range edges {
+			blocks := make([]Block, 0, len(e.covers))
+			for _, j := range e.covers {
+				blocks = append(blocks, Block{Src: root, Dst: j})
+			}
+			ph := phaseOff + e.level
+			b.msg(e.parent, ph, e.child, ph, blocks)
+		}
+	}
+	switch kind {
+	case KindBroadcast:
+		emitBcast(0)
+	case KindReduce:
+		emitReduce(0)
+	case KindAllreduce:
+		emitReduce(0)
+		emitBcast(maxLevel + 1)
+	}
+	p := &HierPlan{Alg: alg, Kind: kind, Place: tp.Placement(), Tree: tp, perRank: b.plans, msgs: b.msgs}
+	p.kweights = make([]int, len(p.msgs))
+	for i := range p.kweights {
+		p.kweights[i] = 1
+	}
+	return p
+}
+
+// RunKindPlanned executes a compiled per-kind plan on the calling rank:
+// per-rank message size m for uniform kinds, the bound matrix for
+// Alltoallv plans (m is then ignored). Every rank of the plan's
+// topology must call it with the same plan and m.
+func RunKindPlanned(r *mpi.Rank, plan *HierPlan, m int) {
+	RunKindPlannedTraced(r, plan, m, nil)
+}
+
+// RunKindPlannedTraced is RunKindPlanned recording the calling rank's
+// phase boundaries into pt (built for this plan); nil pt degenerates to
+// the untraced executor.
+func RunKindPlannedTraced(r *mpi.Rank, plan *HierPlan, m int, pt *PhaseTrace) {
+	if plan.Place.NumRanks() != r.Size() {
+		panic(fmt.Sprintf("coll: plan for %d ranks executed on world of %d",
+			plan.Place.NumRanks(), r.Size()))
+	}
+	runPlanPhases(r, plan, m, pt)
+}
+
+// RunKindFlat executes the flat (non-hierarchical) kernel of a kind:
+// the baseline the planner prices as FlatDirect. Rooted kinds use rank
+// 0, matching PlanKindTree. KindAlltoallv is rejected — flat irregular
+// exchanges go through AlltoallV.
+func RunKindFlat(r *mpi.Rank, kind Kind, m int, alg Algorithm) {
+	switch kind {
+	case KindAlltoall:
+		Alltoall(r, m, alg)
+	case KindAllgather:
+		Allgather(r, m)
+	case KindBroadcast:
+		Bcast(r, 0, m)
+	case KindReduce:
+		Reduce(r, 0, m)
+	case KindReduceScatter:
+		ReduceScatter(r, m)
+	case KindAllreduce:
+		Allreduce(r, m)
+	default:
+		panic(fmt.Sprintf("coll: no flat kernel for kind %s", kind))
+	}
+}
+
+// KindMsgBytes sizes a message carrying blocks under a kind's payload
+// model with per-rank contribution m: the weighting PlanKindTree bakes
+// into kweights, exposed for recovery replanning over block subsets.
+func KindMsgBytes(kind Kind, blocks []Block, m int) int {
+	if len(blocks) == 0 {
+		return 0
+	}
+	switch kind {
+	case KindAllgather:
+		return distinctSrcs(blocks) * m
+	case KindReduceScatter:
+		return distinctDsts(blocks) * m
+	case KindBroadcast, KindReduce, KindAllreduce:
+		return m
+	default:
+		return len(blocks) * m
+	}
+}
+
+// Universe returns the plan's delivery obligations: the deduplicated
+// union of all carried blocks. For All-to-All this is every ordered
+// rank pair; rooted kinds restrict it to the blocks their flow defines.
+func (p *HierPlan) Universe() []Block {
+	seen := make(map[Block]bool)
+	var out []Block
+	for _, m := range p.msgs {
+		for _, b := range m.blocks {
+			if !seen[b] {
+				seen[b] = true
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}

@@ -109,6 +109,13 @@ func (pt *PhaseTrace) Spans() []PhaseSpan {
 // height). HierDirect phases are dependency levels of the overlapped
 // relay, which interleave gather, exchange, and scatter traffic.
 func (p *HierPlan) PhaseLabel(i int) string {
+	switch p.Kind {
+	case KindBroadcast, KindReduce, KindAllreduce:
+		// Rooted relays share one phase layout across both algorithm
+		// variants: one relay level per phase (Allreduce runs the reduce
+		// levels first, then the broadcast levels).
+		return fmt.Sprintf("relay-%d", i)
+	}
 	if p.Alg == HierGather {
 		h := p.Tree.Height()
 		switch {
@@ -151,11 +158,11 @@ func AlltoallHierPlannedVTraced(r *mpi.Rank, plan *HierPlan, pt *PhaseTrace) {
 	runPlanPhases(r, plan, 0, pt)
 }
 
-// runPlanPhases is the shared phase loop of the uniform and irregular
-// executors: post the phase's receives and sends, wait for all, record
-// boundaries when traced. Uniform plans (vbytes nil) size sends as
-// blocks·m and skip empty phases outright; size-bound plans skip
-// zero-byte messages individually.
+// runPlanPhases is the shared phase loop of every plan executor: post
+// the phase's receives and sends, wait for all, record boundaries when
+// traced. Uniform plans (vbytes nil) size sends as blocks·m — or
+// kweights·m for non-All-to-All kinds — and skip empty phases
+// outright; size-bound plans skip zero-byte messages individually.
 func runPlanPhases(r *mpi.Rank, plan *HierPlan, m int, pt *PhaseTrace) {
 	for pi, ph := range plan.perRank[r.ID()] {
 		if plan.vbytes == nil && len(ph.sends) == 0 && len(ph.recvs) == 0 {
@@ -171,11 +178,14 @@ func runPlanPhases(r *mpi.Rank, plan *HierPlan, m int, pt *PhaseTrace) {
 		}
 		for _, sd := range ph.sends {
 			b := sd.blocks * m
-			if plan.vbytes != nil {
+			switch {
+			case plan.vbytes != nil:
 				b = plan.vbytes[sd.msgIdx]
 				if b == 0 {
 					continue
 				}
+			case plan.kweights != nil:
+				b = plan.kweights[sd.msgIdx] * m
 			}
 			qs = append(qs, r.Isend(sd.peer, sd.tag, b))
 		}

@@ -3,9 +3,9 @@
 // ablations called out in DESIGN.md (AB1–AB3), the extensions
 // (EX1–EX3), and the grid experiments (GR1 two-level, GR2 3-level, GR3
 // coordinator selection, GR4 irregular All-to-Allv, GR5 size-indexed
-// factor curves, GR6 failover and replan resilience). Each experiment
-// returns tabular Series that cmd/atabench prints and bench_test.go
-// reports.
+// factor curves, GR6 failover and replan resilience, GR7 the collective
+// suite's sim-vs-model ranking agreement). Each experiment returns
+// tabular Series that cmd/atabench prints and bench_test.go reports.
 //
 // Experiments accept a Config whose Scale field shrinks grids and
 // message sizes so the full suite stays affordable in CI; Scale = 1
@@ -52,6 +52,10 @@ type Config struct {
 	// sim.ModePacket, or sim.ModeFluid for analytic pricing of large
 	// WAN transfers.
 	SimMode sim.Mode
+	// Coll, when non-empty, restricts the collective-suite experiment
+	// (GR7) to one kind (a coll.ParseKind name, e.g. "allreduce");
+	// empty runs GR7's default kind set.
+	Coll string
 }
 
 // DefaultConfig is the CI-affordable configuration.

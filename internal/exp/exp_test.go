@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"AB1", "AB2", "AB3",
 		"EX1", "EX2", "EX3",
 		"F02", "F03", "F04", "F05", "F06", "F07", "F08",
-		"F09", "F10", "F11", "F12", "F13", "F14", "GR1", "GR2", "GR3", "GR4", "GR5", "GR6", "TA",
+		"F09", "F10", "F11", "F12", "F13", "F14", "GR1", "GR2", "GR3", "GR4", "GR5", "GR6", "GR7", "TA",
 	}
 	all := All()
 	if len(all) != len(want) {

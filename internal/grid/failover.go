@@ -1,11 +1,8 @@
 package grid
 
 import (
-	"fmt"
-
 	"repro/internal/cluster"
 	"repro/internal/coll"
-	"repro/internal/mpi"
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -41,52 +38,10 @@ const (
 // when the run finishes but violates its own delivery invariants — the
 // result is still returned alongside for diagnosis.
 func SimulateSpecFailover(c *obs.Collector, sc SimConfig, topo cluster.TopoNode, spec coll.TreeSpec, alg coll.HierAlgorithm, m int, seed int64, fs netsim.FaultSchedule, timeout sim.Time) (coll.FailoverResult, float64, error) {
-	g, err := cluster.BuildGridTree(topo, seed)
-	if err != nil {
-		return coll.FailoverResult{}, 0, err
-	}
-	applySimConfig(g, sc)
-	plan := coll.PlanHierTree(spec, alg)
-	if plan.Place.NumRanks() != len(g.Env.Hosts) {
-		return coll.FailoverResult{}, 0, fmt.Errorf("grid: plan spec covers %d ranks, topology has %d",
-			plan.Place.NumRanks(), len(g.Env.Hosts))
-	}
-	if err := g.Env.Net.ApplyFaults(fs); err != nil {
-		return coll.FailoverResult{}, 0, err
-	}
-	g.Env.Net.AttachCollector(c)
-	sp := c.Span(SpanFailover, obs.Str("topo", topo.Name), obs.Int("m", m),
-		obs.Int("link_faults", len(fs.Links)), obs.Int("node_faults", len(fs.Nodes)))
-	fr := coll.NewFailoverRun(plan, m, coll.FailoverConfig{
-		Timeout: timeout,
-		IsDead: func(rank int) bool {
-			return fs.NodeLostBy(g.Env.Hosts[rank].Name(), g.Env.Sim.Now())
-		},
-		Quench: func(rank int) { g.Env.Fabric.Quench(rank) },
-		OnDeclare: func(rank, epoch int, now sim.Time) {
-			c.Add(CtrFailoverDeclared, 1)
-			sp.Event(EvFailoverDeclare, obs.Int("rank", rank), obs.Int("epoch", epoch),
-				obs.F64("t", now.Seconds()))
-		},
-		OnEpoch: func(epoch int, now sim.Time) {
-			c.Add(CtrFailoverEpochs, 1)
-			sp.Event(EvFailoverEpoch, obs.Int("epoch", epoch), obs.F64("t", now.Seconds()))
-		},
-	})
-	w := mpi.NewWorld(g.Env, mpi.Config{})
-	w.Run(func(r *mpi.Rank) { fr.Run(r) })
-	res := fr.Result()
-	var tEnd sim.Time
-	for _, ft := range res.FinishAt {
-		if ft > tEnd {
-			tEnd = ft
-		}
-	}
-	addRunCountersAs(c, CtrValidations, g.Env)
-	sp.End(obs.Int("epochs", res.Epochs), obs.Int("dead", len(res.Dead)),
-		obs.Int("delivered", res.DeliveredBlocks), obs.Int("waived", res.WaivedBlocks))
-	if err := fr.Verify(); err != nil {
-		return res, tEnd.Seconds(), err
-	}
-	return res, tEnd.Seconds(), nil
+	// All-to-All is one kind of the collective suite: the kind-general
+	// runner compiles the identical plan (coll.PlanKindTree pins
+	// KindAlltoall to coll.PlanHierTree) and runs the identical failover
+	// runtime, so this delegation changes nothing but the span's kind
+	// attribute.
+	return SimulateSpecKindFailover(c, sc, topo, spec, coll.KindAlltoall, alg, m, seed, fs, timeout)
 }

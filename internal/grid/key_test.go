@@ -26,7 +26,7 @@ func TestProfileKeyDistinguishesProfiles(t *testing.T) {
 		want int
 	}{
 		{reflect.TypeOf(cluster.Profile{}), 16},
-		{reflect.TypeOf(transport.TCPConfig{}), 10},
+		{reflect.TypeOf(transport.TCPConfig{}), 11},
 		{reflect.TypeOf(transport.GMConfig{}), 2},
 		{reflect.TypeOf(cluster.WANConfig{}), 5},
 	} {
@@ -69,6 +69,7 @@ func TestProfileKeyDistinguishesProfiles(t *testing.T) {
 	add("wan-tuned", func(p *cluster.Profile) { p.TCP.RcvWindow = 256 << 10 })
 	add("tcp-mss", func(p *cluster.Profile) { p.TCP.MSS = 9000 })
 	add("tcp-rtomin", func(p *cluster.Profile) { p.TCP.RTOMin = 1 })
+	add("tcp-maxretries", func(p *cluster.Profile) { p.TCP.MaxRetries = 7 })
 	add("gm-mtu", func(p *cluster.Profile) { p.GM.MTU = 2048 })
 	// Crafted-name regression: under an unquoted reflective rendering, a
 	// name that imitates the rate-slice syntax could collide with the

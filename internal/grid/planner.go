@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/calib"
 	"repro/internal/cluster"
@@ -351,6 +352,11 @@ type Planner struct {
 	// post-selection refit (coords.go) shares the same cache and
 	// hit/miss accounting as the initial characterization.
 	sv *storeView
+	// kindGamma caches the per-kind hierarchical correction curves,
+	// fitted lazily on the first PredictKind of each kind (kinds.go).
+	// kindMu guards it; All-to-All never takes an entry.
+	kindMu    sync.Mutex
+	kindGamma map[coll.Kind]model.FactorCurve
 }
 
 // NewPlanner characterizes every member network and every WAN tier of
@@ -412,7 +418,8 @@ func newPlannerWithStore(topo cluster.TopoNode, opt Options, st *CurveStore) (*P
 		return nil, err
 	}
 
-	pl := &Planner{Topo: topo, opt: opt, sv: newStoreView(st, opt.Trace)}
+	pl := &Planner{Topo: topo, opt: opt, sv: newStoreView(st, opt.Trace),
+		kindGamma: map[coll.Kind]model.FactorCurve{}}
 	rootSpan := opt.Trace.Span("planner.characterize",
 		obs.Str("topo", topo.Name), obs.Int("leaves", topo.NumLeaves()),
 		obs.Int("nodes", topo.TotalNodes()))
@@ -672,9 +679,10 @@ func profileKey(p cluster.Profile) string {
 		}
 		fmt.Fprintf(&b, "%d", r)
 	}
-	fmt.Fprintf(&b, "] tcp={%d,%d,%d,%d,%d,%d,%d,%d,%d,%d}",
+	fmt.Fprintf(&b, "] tcp={%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d}",
 		p.TCP.MSS, p.TCP.HeaderSize, p.TCP.AckSize, p.TCP.RcvWindow, p.TCP.InitCwnd,
-		p.TCP.RTOMin, p.TCP.RTOMax, p.TCP.TxQueueLimit, p.TCP.DelAckTimeout, p.TCP.AckJitter)
+		p.TCP.RTOMin, p.TCP.RTOMax, p.TCP.TxQueueLimit, p.TCP.DelAckTimeout, p.TCP.AckJitter,
+		p.TCP.MaxRetries)
 	fmt.Fprintf(&b, " gm={%d,%d}", p.GM.MTU, p.GM.HeaderSize)
 	return b.String()
 }

@@ -204,6 +204,51 @@ func (s *Service) BestV(topo cluster.TopoNode, sz coll.SizeMatrix) (Prediction, 
 	return e.pl.BestV(sz), nil
 }
 
+// PredictKind returns every candidate strategy's predicted completion
+// time for a collective of the given kind at per-rank contribution m on
+// the topology, fastest first, characterizing on first use.
+// KindAlltoall is served bit-identically to Predict; other kinds may
+// lazily calibrate their correction curve on first request (probe
+// simulations recorded in the shared store, so later requests — and
+// later processes loading the store — predict without probing). Safe
+// for concurrent use: calibration is internally locked and never
+// mutates the model, so concurrent predictions proceed under the
+// entry's shared lock.
+func (s *Service) PredictKind(topo cluster.TopoNode, kind coll.Kind, m int) ([]Prediction, error) {
+	e := s.entryFor(topo)
+	if e.err != nil {
+		return nil, e.err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.pl.PredictKind(kind, m)
+}
+
+// BestKind returns the predicted-fastest strategy for the kind at
+// per-rank contribution m on the topology. Safe for concurrent use.
+func (s *Service) BestKind(topo cluster.TopoNode, kind coll.Kind, m int) (Prediction, error) {
+	e := s.entryFor(topo)
+	if e.err != nil {
+		return Prediction{}, e.err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.pl.BestKind(kind, m)
+}
+
+// SelectCoordinatorsKind runs coordinator selection with candidates
+// priced through the kind's hierarchical model, under the entry's
+// exclusive lock like SelectCoordinators. Safe for concurrent use.
+func (s *Service) SelectCoordinatorsKind(topo cluster.TopoNode, kind coll.Kind, m int) ([]CoordChoice, error) {
+	e := s.entryFor(topo)
+	if e.err != nil {
+		return nil, e.err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pl.SelectCoordinatorsKind(kind, m)
+}
+
 // SelectCoordinators runs bandwidth-aware coordinator selection at
 // size m on the topology's cached planner, under the entry's exclusive
 // lock (selection mutates the model's per-leaf coordinator fields and

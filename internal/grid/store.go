@@ -31,8 +31,14 @@ import (
 //	headroom    profileKey(p)|nodes      per-node probed NIC rates
 //	tiers       topoKey(tier)            measured WAN transfer curve
 //	gammas      topoKey(tier)            fitted per-tier γ_wan curve
+//	            "K|"+kind+"|"+topoKey    per-kind hierarchical correction
 //	strategies  "S|"+topoKey(topo)       initial ω/κ strategy curves
 //	            "R|"+topoKey(topo)+sel   post-selection ω/κ refits
+//
+// Per-kind corrections (kinds.go) live in the gammas map under "K|"
+// keys, so collective-suite fits persist through the version-1 schema
+// unchanged and an Alltoall-only store serializes byte-identically to
+// the pre-suite planner's.
 //
 // topoKey is compositional — a subtree's key is a substring of every
 // ancestor's — which is what makes Invalidate's semantics exact: a
@@ -63,6 +69,11 @@ type CurveStore struct {
 	// that started before the invalidation) is dropped instead of
 	// re-inserting records fitted from pre-invalidation simulations.
 	epoch uint64
+	// invalidated accumulates every tier key passed to Invalidate over
+	// the store's lifetime. SaveFile's merge consults it so records a
+	// caller deliberately dropped are not resurrected from an older
+	// on-disk snapshot.
+	invalidated []string
 }
 
 // StoreVersion is the serialized store's schema version. Load rejects
@@ -160,6 +171,7 @@ func (s *CurveStore) Invalidate(tierKey string) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.epoch++
+	s.invalidated = append(s.invalidated, tierKey)
 	n := 0
 	for k := range s.tiers {
 		if strings.Contains(k, tierKey) {
@@ -310,18 +322,117 @@ func (s *CurveStore) WriteJSON(w io.Writer) error {
 	return err
 }
 
+// snapshot copies the store's records into a serializable storeFile
+// under the read lock, along with the invalidation history. The maps
+// are fresh, so a caller (SaveFile's merge) may mutate them without
+// touching the live store.
+func (s *CurveStore) snapshot() (storeFile, []string) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f := storeFile{
+		Version:    StoreVersion,
+		Options:    s.optKey,
+		Leaves:     make(map[string]storedLeaf, len(s.leaves)),
+		Headroom:   make(map[string][]float64, len(s.headroom)),
+		Tiers:      make(map[string]storedTier, len(s.tiers)),
+		Gammas:     make(map[string]model.FactorCurve, len(s.gammas)),
+		Strategies: make(map[string]storedStrategy, len(s.strategies)),
+	}
+	for k, v := range s.leaves {
+		f.Leaves[k] = v
+	}
+	for k, v := range s.headroom {
+		f.Headroom[k] = v
+	}
+	for k, v := range s.tiers {
+		f.Tiers[k] = v
+	}
+	for k, v := range s.gammas {
+		f.Gammas[k] = v
+	}
+	for k, v := range s.strategies {
+		f.Strategies[k] = v
+	}
+	return f, append([]string(nil), s.invalidated...)
+}
+
+// mergeDisk folds an existing on-disk snapshot under an in-memory one:
+// disk records absent from memory are kept (so concurrent processes
+// characterizing different topologies against one file compose instead
+// of clobbering each other), memory wins every conflict, and disk
+// records whose key contains a tier key this store has Invalidated are
+// dropped — a deliberate refit must not resurrect stale fits from an
+// older save. Merging only makes sense within one probe configuration;
+// the caller checks the Options fingerprints match first.
+func mergeDisk(mem storeFile, disk storeFile, invalidated []string) storeFile {
+	dropped := func(key string) bool {
+		for _, tk := range invalidated {
+			if strings.Contains(key, tk) {
+				return true
+			}
+		}
+		return false
+	}
+	for k, v := range disk.Leaves {
+		if _, ok := mem.Leaves[k]; !ok {
+			mem.Leaves[k] = v
+		}
+	}
+	for k, v := range disk.Headroom {
+		if _, ok := mem.Headroom[k]; !ok {
+			mem.Headroom[k] = v
+		}
+	}
+	for k, v := range disk.Tiers {
+		if _, ok := mem.Tiers[k]; !ok && !dropped(k) {
+			mem.Tiers[k] = v
+		}
+	}
+	for k, v := range disk.Gammas {
+		if _, ok := mem.Gammas[k]; !ok && !dropped(k) {
+			mem.Gammas[k] = v
+		}
+	}
+	for k, v := range disk.Strategies {
+		if _, ok := mem.Strategies[k]; !ok && !dropped(k) {
+			mem.Strategies[k] = v
+		}
+	}
+	return mem
+}
+
 // SaveFile atomically writes the store to path: the JSON form goes to a
 // temp file in the same directory, is synced, and is renamed over path,
 // so a crash mid-save (or a concurrent reader/saver) observes either
 // the old complete file or the new complete file — never a torn one.
+//
+// When path already holds a loadable store fitted under the same
+// Options fingerprint, the save merges rather than overwrites: on-disk
+// records this store lacks survive (minus any whose key contains a tier
+// key passed to Invalidate since the store was created), records
+// present in both take the in-memory value, and the in-memory store
+// itself is never mutated. A missing, corrupt, or differently-
+// fingerprinted file is replaced wholesale, exactly as before.
 func (s *CurveStore) SaveFile(path string) error {
+	mem, invalidated := s.snapshot()
+	if old, err := LoadCurveStoreFile(path); err == nil {
+		disk, _ := old.snapshot()
+		if disk.Options == mem.Options {
+			mem = mergeDisk(mem, disk, invalidated)
+		}
+	}
+	b, err := json.MarshalIndent(mem, "", " ")
+	if err != nil {
+		return fmt.Errorf("grid: saving store to %s: %w", path, err)
+	}
+	b = append(b, '\n')
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("grid: saving store: %w", err)
 	}
 	tmpName := tmp.Name()
-	if err := s.WriteJSON(tmp); err != nil {
+	if _, err := tmp.Write(b); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
 		return fmt.Errorf("grid: saving store to %s: %w", path, err)
@@ -588,6 +699,26 @@ func (v *storeView) strategy(sp *obs.Span, key string) (storedStrategy, bool) {
 
 func (v *storeView) putStrategy(key string, rec storedStrategy) {
 	if v != nil && v.st != nil && !v.st.putStrategy(v.epoch, key, rec) {
+		v.noteStale()
+	}
+}
+
+// kindCurve / putKindCurve access one per-kind hierarchical correction
+// curve (kinds.go). The records share the gammas map under "K|" keys —
+// the same curve shape, validation, and Invalidate semantics — but
+// trace as their own record kind so a warm collective-suite build is
+// distinguishable from a warm tier fit.
+func (v *storeView) kindCurve(sp *obs.Span, key string) (model.FactorCurve, bool) {
+	if v == nil || v.st == nil {
+		return model.FactorCurve{}, false
+	}
+	c, ok := v.st.gamma(key)
+	v.record(sp, ok, "kind")
+	return c, ok
+}
+
+func (v *storeView) putKindCurve(key string, c model.FactorCurve) {
+	if v != nil && v.st != nil && !v.st.putGamma(v.epoch, key, c) {
 		v.noteStale()
 	}
 }

@@ -162,6 +162,15 @@ type ModelNode struct {
 	// Children and Wan describe a group tier.
 	Children []*ModelNode
 	Wan      WANModel
+
+	// InnerCoordSet marks a group tier whose coordinator was chosen
+	// explicitly (planner coordinator selection at an inner tier rather
+	// than the first-child default). The upward incast into that tier's
+	// coordinator then behaves like the leaf gather's synchronized
+	// incast and is κ-charged with GatherGamma; false (the default)
+	// leaves the leg at its analytic serialization, reproducing the
+	// pre-selection model bit-identically.
+	InnerCoordSet bool
 }
 
 // coordSplit returns the leaf's effective coordinator count, clamped to
@@ -248,6 +257,11 @@ type GridModel struct {
 	// recovery the plain serialization term misses. Fitted from probe
 	// grids, size-indexed like OverlapGamma.
 	GatherGamma FactorCurve
+	// CombineBeta prices reduction arithmetic in seconds per combined
+	// byte for the reducing kinds (Reduce, Allreduce, Reduce-scatter).
+	// Zero — the default — keeps combining free, as the simulator and
+	// the paper's models assume; All-to-All predictions never read it.
+	CombineBeta float64
 	// Obs, when non-nil, receives one factor.lookup event per
 	// contention-curve read a prediction performs — which fitted
 	// FactorCurve points the lookup interpolated, at what effective
@@ -515,6 +529,14 @@ func (g GridModel) tierLegs(m int) (xchg, scatter float64) {
 		}
 		out := n - v.TotalNodes()
 		incast := g.collectAt(v, m, out)
+		if v.InnerCoordSet {
+			// An explicitly-chosen inner-tier coordinator synchronizes
+			// its children's forwards into a genuine incast on its port,
+			// like the leaf gather: κ-charge the leg (satellite of the
+			// collective-suite refactor; default coords keep the
+			// analytic serialization bit-identically).
+			incast *= gammaAt(g.GatherGamma, m)
+		}
 		if t := g.exchangeAt(v, m) + incast; t > byHeight[v.Height()] {
 			byHeight[v.Height()] = t
 		}

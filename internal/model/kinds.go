@@ -1,0 +1,365 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/coll"
+)
+
+// Per-kind grid predictions. The collective suite (internal/coll,
+// PlanKindTree) reuses the hierarchical plan machinery across
+// Allgather, Broadcast, Reduce, Reduce-scatter, and Allreduce; this
+// file prices each kind's per-tier WAN legs with the same fitted
+// ingredients the All-to-All model uses — the per-tier transfer curves,
+// the κ incast factor (GatherGamma), the coordinator-port headroom
+// floors — changing only the per-leg byte weights to match what the
+// compiled plans actually move:
+//
+//   - Allgather rides the All-to-All plan structure with per-source
+//     deduplication: a gather leg forwards m per member, a tier
+//     exchange A→B moves |A|·m, a scatter leg fans (n−s)·m back out.
+//   - Reduce-scatter is the mirror image (per-destination partials):
+//     gather (n−s)·m, exchange A→B moves |B|·m, scatter m.
+//   - Broadcast and Reduce relay one m-byte payload per hop of the
+//     delegate tree (fan-out down, incast up); Reduce additionally
+//     prices the combining arithmetic via CombineBeta, and its leaf
+//     incast is κ-charged like the All-to-All gather incast.
+//   - Allreduce is Reduce∘Broadcast over the same relay.
+//
+// All-to-All itself delegates to the original PredictFlat /
+// PredictHierGather / PredictHierDirect methods, keeping that path
+// bit-identical to the pre-suite model.
+
+// PredictKindFlat prices the flat (topology-oblivious) kernel of a
+// kind, as RunKindFlat executes it: ring allgather, binomial broadcast
+// and reverse-binomial reduce, recursive doubling or reduce+broadcast
+// allreduce, halving or ring reduce-scatter. Every flat round is gated
+// by the grid's top tier in the worst case, which is what makes flat
+// kernels lose to the hierarchy on deep grids. Alltoallv is size-bound
+// and has no uniform-m prediction (use PredictV).
+func (g GridModel) PredictKindFlat(kind coll.Kind, m int) float64 {
+	n := g.TotalNodes()
+	if n <= 1 {
+		return 0
+	}
+	switch kind {
+	case coll.KindAlltoall:
+		return g.PredictFlat(m)
+	case coll.KindAllgather:
+		return float64(n-1) * g.hopTransfer(m)
+	case coll.KindBroadcast:
+		return float64(ceilLog2(n)) * g.hopTransfer(m)
+	case coll.KindReduce:
+		return float64(ceilLog2(n)) * (g.hopTransfer(m) + g.CombineBeta*float64(m))
+	case coll.KindAllreduce:
+		if n&(n-1) == 0 {
+			// Recursive doubling: log2(n) pairwise exchanges. The
+			// rounds whose partner mask crosses a cluster boundary push
+			// all n ranks' flows through a WAN tier at once — the same
+			// burst-through-one-uplink pattern the fitted κ incast
+			// factor measures — so those ceil(log2 #clusters) rounds
+			// are priced as n/2 concurrent flows κ-inflated, and only
+			// the remaining intra-cluster rounds as single hops.
+			rounds := ceilLog2(n)
+			wanRounds := ceilLog2(len(g.Leaves()))
+			if wanRounds > rounds {
+				wanRounds = rounds
+			}
+			t := float64(rounds) * g.CombineBeta * float64(m)
+			if !g.Root.IsLeaf() && wanRounds > 0 {
+				t += float64(wanRounds) * g.Root.Wan.TransferShared(n/2, m) * gammaAt(g.GatherGamma, m)
+				rounds -= wanRounds
+			}
+			return t + float64(rounds)*g.hopTransfer(m)
+		}
+		return g.PredictKindFlat(coll.KindReduce, m) + g.PredictKindFlat(coll.KindBroadcast, m)
+	case coll.KindReduceScatter:
+		if n&(n-1) == 0 {
+			// Pairwise halving: the exchanged volume halves each step.
+			t, size := 0.0, m*n/2
+			for mask := 1; mask < n; mask <<= 1 {
+				if size < 1 {
+					size = 1
+				}
+				t += g.hopTransfer(size) + g.CombineBeta*float64(size)
+				size /= 2
+			}
+			return t
+		}
+		return float64(n-1) * (g.hopTransfer(m) + g.CombineBeta*float64(m))
+	}
+	panic(fmt.Sprintf("model: no flat prediction for %v", kind))
+}
+
+// PredictKindHier prices the hierarchical plan PlanKindTree compiles
+// for a kind: the weighted All-to-All structure for Allgather and
+// Reduce-scatter, the delegate relay for the rooted kinds, and the
+// original sequential hierarchical prediction for All-to-All itself.
+// The rooted kinds' plans are structurally identical under both
+// hierarchical algorithm variants, so one hierarchical prediction
+// covers them.
+func (g GridModel) PredictKindHier(kind coll.Kind, m int) float64 {
+	if g.TotalNodes() <= 1 {
+		return 0
+	}
+	switch kind {
+	case coll.KindAlltoall:
+		return g.PredictHierGather(m)
+	case coll.KindAllgather, coll.KindReduceScatter:
+		return g.predictWeightedHier(kind, m)
+	case coll.KindBroadcast:
+		wan, local, _ := g.relayLegs(m)
+		return wan + local
+	case coll.KindReduce:
+		wan, local, compute := g.relayLegs(m)
+		if g.Obs != nil {
+			g.emitLookup("kappa", -1, g.GatherGamma, m)
+		}
+		return wan + local*gammaAt(g.GatherGamma, m) + compute
+	case coll.KindAllreduce:
+		return g.PredictKindHier(coll.KindReduce, m) + g.PredictKindHier(coll.KindBroadcast, m)
+	}
+	panic(fmt.Sprintf("model: no hierarchical prediction for %v", kind))
+}
+
+// hopTransfer prices one worst-case hop of a flat kernel's round: the
+// top tier's end-to-end curve (which subsumes the tiers it transits),
+// or the LAN point-to-point time on a degenerate single-cluster grid.
+func (g GridModel) hopTransfer(m int) float64 {
+	if g.Root.IsLeaf() {
+		h := g.Root.LAN.H
+		return h.Alpha + float64(m)*h.Beta
+	}
+	return g.Root.Wan.Transfer(m)
+}
+
+// ceilLog2 returns ceil(log2 n) for n ≥ 1: the round count of the
+// binomial-tree kernels.
+func ceilLog2(n int) int {
+	r := 0
+	for p := 1; p < n; p <<= 1 {
+		r++
+	}
+	return r
+}
+
+// predictWeightedHier prices the weighted All-to-All plan structure the
+// deduplicating kinds compile: intra-leaf exchange, per-tier exchange
+// and incast legs with kind-specific byte weights, and κ-charged local
+// gather/scatter legs at the leaf coordinators.
+func (g GridModel) predictWeightedHier(kind coll.Kind, m int) float64 {
+	xchg, scatter := g.kindTierLegs(kind, m)
+	up, down := g.kindLeafLocal(kind, m)
+	if g.Obs != nil {
+		g.emitLookup("kappa", -1, g.GatherGamma, m)
+	}
+	return g.intra(m) + xchg + scatter + (up+down)*gammaAt(g.GatherGamma, m)
+}
+
+// kindExchangeAt is exchangeAt with kind-weighted sibling-pair volumes:
+// an Allgather message A→B deduplicates to one copy per source (|A|·m),
+// a Reduce-scatter message to one partial per destination (|B|·m). The
+// per-flow curve limit, aggregate wire floor, and coordinator-port
+// headroom floor mirror the All-to-All leg.
+func (g GridModel) kindExchangeAt(v *ModelNode, kind coll.Kind, m int) float64 {
+	worst := 0.0
+	for _, c := range v.Children {
+		maxPer, total := 0, 0
+		for _, d := range v.Children {
+			if d == c {
+				continue
+			}
+			var b int
+			switch kind {
+			case coll.KindAllgather:
+				b = c.TotalNodes() * m
+			case coll.KindReduceScatter:
+				b = d.TotalNodes() * m
+			}
+			total += b
+			if b > maxPer {
+				maxPer = b
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		t := v.Wan.Transfer(maxPer)
+		if wire := v.Wan.Alpha() + float64(total)*v.Wan.BetaWire; wire > t {
+			t = wire
+		}
+		if c.IsLeaf() && c.CoordBeta > 0 {
+			if port := v.Wan.Alpha() + float64(total)/float64(c.coordSplit())*c.CoordBeta; port > t {
+				t = port
+			}
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// kindCollectAt prices one tier's incast (or symmetric fan-out) with a
+// caller-supplied per-child volume: every child except the
+// coordinator's own moves bytesOf(child) across tier v's links.
+func (g GridModel) kindCollectAt(v *ModelNode, bytesOf func(c *ModelNode) int) float64 {
+	if len(v.Children) < 2 {
+		return 0
+	}
+	maxPer, total := 0, 0
+	for i, c := range v.Children {
+		if i == 0 {
+			continue // the first child hosts the tier coordinator
+		}
+		b := bytesOf(c)
+		total += b
+		if b > maxPer {
+			maxPer = b
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	perFlow := v.Wan.Transfer(maxPer)
+	wire := v.Wan.Alpha() + float64(total)*v.Wan.BetaWire
+	if wire > perFlow {
+		return wire
+	}
+	return perFlow
+}
+
+// kindTierLegs sums the weighted relay's WAN legs like tierLegs does
+// for All-to-All: per height the worst group's exchange plus upward
+// incast, per depth the worst group's downward leg. Upward an Allgather
+// subtree forwards its own blocks once (|subtree|·m) while a
+// Reduce-scatter subtree forwards one partial per outside destination;
+// downward the weights swap. Explicitly-chosen inner-tier coordinators
+// (InnerCoordSet) κ-charge the incast legs they terminate.
+func (g GridModel) kindTierLegs(kind coll.Kind, m int) (xchg, scatter float64) {
+	n := g.TotalNodes()
+	byHeight := map[int]float64{}
+	byDepth := map[int]float64{}
+	var walk func(v *ModelNode, depth int)
+	walk = func(v *ModelNode, depth int) {
+		if v.IsLeaf() {
+			return
+		}
+		for _, c := range v.Children {
+			walk(c, depth+1)
+		}
+		out := n - v.TotalNodes()
+		up, down := 0.0, 0.0
+		if out > 0 {
+			switch kind {
+			case coll.KindAllgather:
+				up = g.kindCollectAt(v, func(c *ModelNode) int { return c.TotalNodes() * m })
+				down = g.kindCollectAt(v, func(c *ModelNode) int { return (n - c.TotalNodes()) * m })
+			case coll.KindReduceScatter:
+				up = g.kindCollectAt(v, func(c *ModelNode) int { return out * m })
+				down = g.kindCollectAt(v, func(c *ModelNode) int { return c.TotalNodes() * m })
+			}
+		}
+		kfac := 1.0
+		if v.InnerCoordSet {
+			kfac = gammaAt(g.GatherGamma, m)
+		}
+		if t := g.kindExchangeAt(v, kind, m) + up*kfac; t > byHeight[v.Height()] {
+			byHeight[v.Height()] = t
+		}
+		if depth > 0 && down*kfac > byDepth[depth] {
+			byDepth[depth] = down * kfac
+		}
+	}
+	walk(g.Root, 0)
+	for _, t := range byHeight {
+		xchg += t
+	}
+	for _, t := range byDepth {
+		scatter += t
+	}
+	return xchg, scatter
+}
+
+// kindLeafLocal returns the worst leaf's local gather and scatter legs
+// under kind weighting: Allgather members forward m each and receive
+// (n−s)·m back; Reduce-scatter mirrors. Measured coordinator headroom
+// and the C-way coordinator split apply as in leafLocal.
+func (g GridModel) kindLeafLocal(kind coll.Kind, m int) (gather, scatter float64) {
+	n := g.TotalNodes()
+	for _, lf := range g.Leaves() {
+		s := lf.Size
+		if s <= 1 || n == s {
+			continue
+		}
+		h := lf.LAN.H
+		beta := h.Beta
+		if lf.CoordBeta > 0 {
+			beta = lf.CoordBeta
+		}
+		c := float64(lf.coordSplit())
+		var up, down int
+		switch kind {
+		case coll.KindAllgather:
+			up, down = m, (n-s)*m
+		case coll.KindReduceScatter:
+			up, down = (n-s)*m, m
+		}
+		if t := float64(s-1) * (h.Alpha + float64(up)*beta/c); t > gather {
+			gather = t
+		}
+		if t := float64(s-1) * (h.Alpha + float64(down)*beta/c); t > scatter {
+			scatter = t
+		}
+	}
+	return gather, scatter
+}
+
+// relayLegs prices the rooted delegate relay (planRooted): per group
+// tier, one m-byte message per non-colocated child delegate through the
+// tier's uplink (tiers at one height run concurrently, heights
+// sequentially); at the leaves, the worst (s−1)-member local leg
+// through the coordinator port. compute accumulates the combining
+// arithmetic a reduction pays along the same critical path: each relay
+// node combines one m-byte contribution per input, priced at
+// CombineBeta seconds per byte (zero — free combining, as the simulator
+// also assumes — by default).
+func (g GridModel) relayLegs(m int) (wan, local, compute float64) {
+	byHeight := map[int]float64{}
+	localCompute := 0.0
+	var walk func(v *ModelNode)
+	walk = func(v *ModelNode) {
+		if v.IsLeaf() {
+			if s := v.Size; s > 1 {
+				h := v.LAN.H
+				beta := h.Beta
+				if v.CoordBeta > 0 {
+					beta = v.CoordBeta
+				}
+				t := float64(s-1) * (h.Alpha + float64(m)*beta/float64(v.coordSplit()))
+				if t > local {
+					local = t
+					localCompute = g.CombineBeta * float64((s-1)*m)
+				}
+			}
+			return
+		}
+		if k := len(v.Children) - 1; k > 0 {
+			t := v.Wan.TransferShared(k, m)
+			if t > byHeight[v.Height()] {
+				byHeight[v.Height()] = t
+			}
+			if c := g.CombineBeta * float64(k*m); c > compute {
+				compute = c
+			}
+		}
+		for _, c := range v.Children {
+			walk(c)
+		}
+	}
+	walk(g.Root)
+	for _, t := range byHeight {
+		wan += t
+	}
+	return wan, local, compute + localCompute
+}

@@ -1,0 +1,116 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/coll"
+)
+
+func TestKindPredictionsAlltoallDelegates(t *testing.T) {
+	for name, g := range map[string]GridModel{"2lvl": gridModelFixture(), "3lvl": threeLevelFixture()} {
+		for _, m := range []int{4 << 10, 64 << 10, 512 << 10} {
+			if got, want := g.PredictKindFlat(coll.KindAlltoall, m), g.PredictFlat(m); got != want {
+				t.Fatalf("%s m=%d: flat alltoall kind %v != %v", name, m, got, want)
+			}
+			if got, want := g.PredictKindHier(coll.KindAlltoall, m), g.PredictHierGather(m); got != want {
+				t.Fatalf("%s m=%d: hier alltoall kind %v != %v", name, m, got, want)
+			}
+		}
+	}
+}
+
+func TestKindPredictionsPositiveAndOrdered(t *testing.T) {
+	kinds := []coll.Kind{
+		coll.KindAllgather, coll.KindBroadcast, coll.KindReduce,
+		coll.KindReduceScatter, coll.KindAllreduce,
+	}
+	for name, g := range map[string]GridModel{"2lvl": gridModelFixture(), "3lvl": threeLevelFixture()} {
+		for _, m := range []int{4 << 10, 64 << 10} {
+			ata := g.PredictKindHier(coll.KindAlltoall, m)
+			for _, k := range kinds {
+				flat, hier := g.PredictKindFlat(k, m), g.PredictKindHier(k, m)
+				if flat <= 0 || hier <= 0 {
+					t.Fatalf("%s %v m=%d: nonpositive flat=%v hier=%v", name, k, m, flat, hier)
+				}
+				// Every deduplicating or single-sweep rooted kind moves
+				// strictly less data than the full total exchange.
+				// (Allreduce runs two relay sweeps; at latency-dominated
+				// sizes those can legitimately cost more than one
+				// exchange round, so it is checked via composition
+				// below instead.)
+				if k != coll.KindAllreduce && hier >= ata {
+					t.Fatalf("%s %v m=%d: hier %v not below alltoall %v", name, k, m, hier, ata)
+				}
+			}
+			// Broadcast relays one payload per hop — the cheapest kind.
+			if b, ag := g.PredictKindHier(coll.KindBroadcast, m), g.PredictKindHier(coll.KindAllgather, m); b >= ag {
+				t.Fatalf("%s m=%d: broadcast hier %v not below allgather hier %v", name, m, b, ag)
+			}
+			// Allreduce composes reduce and broadcast over the same tree.
+			sum := g.PredictKindHier(coll.KindReduce, m) + g.PredictKindHier(coll.KindBroadcast, m)
+			if ar := g.PredictKindHier(coll.KindAllreduce, m); ar != sum {
+				t.Fatalf("%s m=%d: allreduce %v != reduce+broadcast %v", name, m, ar, sum)
+			}
+		}
+	}
+}
+
+func TestKindHierBeatsFlatOnDeepGrid(t *testing.T) {
+	// The whole point of the suite: on a grid with an expensive top
+	// tier, topology-oblivious flat kernels pay a WAN-gated round per
+	// step and lose to the hierarchy for every kind.
+	g := threeLevelFixture()
+	const m = 64 << 10
+	for _, k := range []coll.Kind{
+		coll.KindAllgather, coll.KindBroadcast, coll.KindReduce,
+		coll.KindReduceScatter, coll.KindAllreduce,
+	} {
+		if flat, hier := g.PredictKindFlat(k, m), g.PredictKindHier(k, m); hier >= flat {
+			t.Fatalf("%v: hier %v not below flat %v", k, hier, flat)
+		}
+	}
+}
+
+func TestInnerCoordSetKappaChargesIncast(t *testing.T) {
+	// Marking an inner tier's coordinator as explicitly chosen κ-charges
+	// its incast legs; with κ > 1 the three-level alltoall and weighted
+	// kind predictions rise, and with the mark absent they are the
+	// pre-refactor values bit for bit.
+	base := threeLevelFixture()
+	base.GatherGamma = ScalarFactor(4)
+	marked := threeLevelFixture()
+	marked.GatherGamma = ScalarFactor(4)
+	for _, c := range marked.Root.Children {
+		c.InnerCoordSet = true
+	}
+	const m = 64 << 10
+	if b, mk := base.PredictHierGather(m), marked.PredictHierGather(m); mk <= b {
+		t.Fatalf("alltoall: κ-charged inner incast %v not above default %v", mk, b)
+	}
+	for _, k := range []coll.Kind{coll.KindAllgather, coll.KindReduceScatter} {
+		if b, mk := base.PredictKindHier(k, m), marked.PredictKindHier(k, m); mk <= b {
+			t.Fatalf("%v: κ-charged inner incast %v not above default %v", k, mk, b)
+		}
+	}
+}
+
+func TestCombineBetaPricesReduction(t *testing.T) {
+	free := threeLevelFixture()
+	paid := threeLevelFixture()
+	paid.CombineBeta = 1e-6
+	const m = 64 << 10
+	for _, k := range []coll.Kind{coll.KindReduce, coll.KindAllreduce, coll.KindReduceScatter} {
+		if f, p := free.PredictKindFlat(k, m), paid.PredictKindFlat(k, m); p <= f {
+			t.Fatalf("%v flat: priced combining %v not above free %v", k, p, f)
+		}
+	}
+	for _, k := range []coll.Kind{coll.KindReduce, coll.KindAllreduce} {
+		if f, p := free.PredictKindHier(k, m), paid.PredictKindHier(k, m); p <= f {
+			t.Fatalf("%v hier: priced combining %v not above free %v", k, p, f)
+		}
+	}
+	// Broadcast never combines: pricing must not move it.
+	if f, p := free.PredictKindHier(coll.KindBroadcast, m), paid.PredictKindHier(coll.KindBroadcast, m); f != p {
+		t.Fatalf("broadcast hier moved with CombineBeta: %v != %v", f, p)
+	}
+}

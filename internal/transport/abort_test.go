@@ -52,6 +52,40 @@ func TestQuenchDrainsAfterNodeLoss(t *testing.T) {
 	}
 }
 
+// TestMaxRetriesAbortsAfterNodeLoss: like the quench test, but nobody
+// declares h1 dead — no failure detector, no Quench. The sender must
+// still give up on its own after MaxRetries consecutive RTOs
+// (tcp_retries2 semantics) so the event loop drains. Without the cap
+// the RTO timer rearms forever and s.Run() never returns. TCP only:
+// GM has no acknowledgments and so nothing to retransmit.
+func TestMaxRetriesAbortsAfterNodeLoss(t *testing.T) {
+	s, nw, f := buildNamedPair(3, FabricConfig{Kind: TCP})
+	delivered := 0
+	f.Conn(1, 0).SetHandler(func(m Message) { delivered++ })
+	// ~8 ms of payload; the host dies at 2 ms, mid-transfer.
+	f.Conn(0, 1).Send(Message{Kind: 1, Tag: 1, MsgSeq: 1, Size: 1_000_000})
+	fs := netsim.FaultSchedule{Nodes: []netsim.NodeFault{{Host: "h1", At: 2 * sim.Millisecond}}}
+	if err := nw.ApplyFaults(fs); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if delivered != 0 {
+		t.Fatalf("%d messages delivered to a host dead mid-transfer", delivered)
+	}
+	// The default ladder (15 retries, RTO doubling to the 5 s cap)
+	// gives up after roughly a minute of simulated peer silence: long
+	// enough to prove the whole backoff ladder ran, bounded enough to
+	// prove the connection actually quit.
+	if now := s.Now(); now < 10*sim.Second || now > 200*sim.Second {
+		t.Fatalf("clock at %v: give-up should land after the ~1 min backoff ladder", now)
+	}
+	// MaxRetries=15 means the 16th consecutive timeout aborts.
+	if got := f.Conn(0, 1).Stats().Timeouts; got != 16 {
+		t.Fatalf("sender recorded %d timeouts, want 16 (MaxRetries+1)", got)
+	}
+	s.MustQuiesce()
+}
+
 // TestQuenchIdempotent: quenching an idle fabric, or the same host
 // twice, is harmless and the fabric's other connections keep working.
 func TestQuenchIdempotent(t *testing.T) {

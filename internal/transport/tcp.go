@@ -433,6 +433,15 @@ func (c *tcpConn) onTimeout() {
 	c.dupacks = 0
 	c.rttPending = false // Karn: no sample across a timeout
 	c.backoff++
+	if c.cfg.MaxRetries > 0 && int(c.backoff) > c.cfg.MaxRetries {
+		// Give up, as real stacks do (tcp_retries2): the peer has
+		// answered nothing across the whole backoff ladder — it is
+		// gone, not congested. Without this, a connection to a
+		// blackholed host rearms its RTO timer forever and the
+		// simulator's event queue never drains.
+		c.Abort()
+		return
+	}
 	// Go-back-N: rewind and let the window re-cover the stream.
 	c.sndNxt = c.sndUna
 	ln := c.cfg.MSS

@@ -170,6 +170,15 @@ type TCPConfig struct {
 	// generation, modeling interrupt coalescing and host noise. It
 	// desynchronizes concurrent flows' AIMD cycles as real systems do.
 	AckJitter sim.Time
+	// MaxRetries caps consecutive retransmission timeouts without ACK
+	// progress before the connection gives up and aborts itself
+	// (Linux tcp_retries2 semantics). At the default RTO ladder the
+	// cap needs ~a minute of total peer silence, which a
+	// congested-but-alive peer never produces; it exists so a
+	// connection to a permanently lost (blackholed) host stops
+	// rearming its RTO timer instead of keeping the simulator's event
+	// queue alive forever. Negative disables the cap.
+	MaxRetries int
 }
 
 // DefaultTCPConfig matches a Linux-2.4-era stack on commodity clusters
@@ -186,6 +195,7 @@ func DefaultTCPConfig() TCPConfig {
 		TxQueueLimit:  150 << 10, // ~100 packets of 1538 wire bytes
 		DelAckTimeout: 40 * sim.Millisecond,
 		AckJitter:     30 * sim.Microsecond,
+		MaxRetries:    15, // tcp_retries2
 	}
 }
 
@@ -215,6 +225,9 @@ func (c TCPConfig) withDefaults() TCPConfig {
 	}
 	if c.TxQueueLimit == 0 {
 		c.TxQueueLimit = d.TxQueueLimit
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = d.MaxRetries
 	}
 	if c.DelAckTimeout == 0 {
 		c.DelAckTimeout = d.DelAckTimeout
